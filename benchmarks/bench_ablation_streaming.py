@@ -1,0 +1,65 @@
+"""Ablation A7: streaming playback vs whole-object video delivery.
+
+Paper Section V notes that "customized caching strategies for streaming
+video content can also be implemented by the CDN" and that the CDN
+treats video chunks as separate cache objects.  In playback mode each
+viewing becomes a stream of sequential 206 segment downloads with seeks
+and abandonment; we compare the resulting traffic mix and cache
+behaviour against the default per-viewing model.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, print_header
+
+from repro.cdn.simulator import CdnSimulator, SimulationConfig
+
+
+def replay(pipeline_result, playback: bool):
+    catalog_bytes = sum(c.total_bytes() for c in pipeline_result.catalogs.values())
+    config = SimulationConfig(
+        seed=BENCH_SEED + 1,
+        cache_capacity_bytes=max(1, int(0.4 * catalog_bytes)),
+        playback_mode=playback,
+    )
+    simulator = CdnSimulator(config=config)
+    simulator.warm(pipeline_result.catalogs.values())
+    # V-1 carries the video traffic; replay its workload only to bound cost.
+    requests = list(pipeline_result.workloads["V-1"].requests)
+    records = list(simulator.run(iter(requests)))
+    return simulator, records, len(requests)
+
+
+def test_ablation_streaming_playback(benchmark, pipeline_result):
+    runs = {}
+
+    def sweep():
+        runs["viewing"] = replay(pipeline_result, playback=False)
+        runs["playback"] = replay(pipeline_result, playback=True)
+        return runs
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header("Ablation A7 — streaming playback mode (V-1 workload)",
+                 "segment streams multiply 206s; abandonment caps byte volume")
+    for label in ("viewing", "playback"):
+        simulator, records, viewings = runs[label]
+        share_206 = sum(r.status_code == 206 for r in records) / len(records)
+        bytes_served = sum(r.bytes_served for r in records)
+        print(
+            f"  {label:8}: viewings={viewings:,} log records={len(records):,} "
+            f"206 share={share_206:6.1%} bytes={bytes_served / 1e9:7.1f} GB "
+            f"hit ratio={simulator.metrics.overall_hit_ratio:6.1%}"
+        )
+
+    _, viewing_records, viewings = runs["viewing"]
+    _, playback_records, _ = runs["playback"]
+    # Playback multiplies log records (one per segment) ...
+    assert len(playback_records) > len(viewing_records)
+    # ... and 206 dominates the playback log.
+    share_206 = sum(r.status_code == 206 for r in playback_records) / len(playback_records)
+    assert share_206 > 0.5
+    # Abandonment keeps byte volume below download-everything levels.
+    playback_bytes = sum(r.bytes_served for r in playback_records)
+    full_bytes = sum(r.object_size for r in viewing_records if r.status_code in (200, 206))
+    assert playback_bytes < full_bytes

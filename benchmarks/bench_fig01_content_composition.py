@@ -1,0 +1,36 @@
+"""Figure 1: content composition of the five adult websites.
+
+Paper claim: V-1 stores 98% video objects; V-2 a mix of 84% image and
+15% video (GIF hover previews); P-1, P-2 and S-1 ~99% images.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.aggregate import content_composition
+from repro.types import ContentCategory
+
+
+def test_fig01_content_composition(benchmark, dataset, catalogs):
+    result = benchmark(content_composition, dataset, catalogs)
+
+    print_header("Fig. 1 — content composition (objects per category)",
+                 "V-1 ~98% video; V-2 84% image / 15% video; P-1/P-2/S-1 ~99% image")
+    print(f"{'site':6} {'objects':>8} {'video':>8} {'image':>8} {'other':>8}")
+    for site in result.sites():
+        total = result.site_total(site, "objects")
+        shares = {c: result.share(site, c, "objects") for c in ContentCategory}
+        print(
+            f"{site:6} {total:>8,} "
+            f"{shares[ContentCategory.VIDEO]:>8.1%} "
+            f"{shares[ContentCategory.IMAGE]:>8.1%} "
+            f"{shares[ContentCategory.OTHER]:>8.1%}"
+        )
+
+    # Shape assertions (paper Fig. 1).
+    assert result.share("V-1", ContentCategory.VIDEO, "objects") > 0.95
+    assert 0.80 <= result.share("V-2", ContentCategory.IMAGE, "objects") <= 0.88
+    assert 0.12 <= result.share("V-2", ContentCategory.VIDEO, "objects") <= 0.18
+    for site in ("P-1", "P-2", "S-1"):
+        assert result.share(site, ContentCategory.IMAGE, "objects") > 0.95

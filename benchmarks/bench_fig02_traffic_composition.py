@@ -1,0 +1,47 @@
+"""Figure 2: traffic composition (request counts and request bytes).
+
+Paper claim: the majority of traffic on adult websites is video and image
+content; only V-1 is video-dominant by request count (Fig. 2a: V-2 has
+more image than video requests), while video dominates *byte* volume
+everywhere it exists (Fig. 2b).
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.aggregate import traffic_composition
+from repro.types import ContentCategory
+
+
+def test_fig02_traffic_composition(benchmark, dataset):
+    result = benchmark(traffic_composition, dataset)
+
+    print_header("Fig. 2 — traffic composition (request count / request bytes)",
+                 "multimedia dominates; V-2 image requests > video requests; video dominates bytes")
+    print(f"{'site':6} {'requests':>10} {'video req':>10} {'image req':>10} {'video bytes':>12} {'image bytes':>12}")
+    for site in result.sites():
+        total = result.site_total(site, "requests")
+        print(
+            f"{site:6} {total:>10,} "
+            f"{result.share(site, ContentCategory.VIDEO, 'requests'):>10.1%} "
+            f"{result.share(site, ContentCategory.IMAGE, 'requests'):>10.1%} "
+            f"{result.share(site, ContentCategory.VIDEO, 'bytes_requested'):>12.1%} "
+            f"{result.share(site, ContentCategory.IMAGE, 'bytes_requested'):>12.1%}"
+        )
+
+    # Fig. 2(a): V-1 video-dominant; V-2 image requests exceed video requests.
+    assert result.share("V-1", ContentCategory.VIDEO, "requests") > 0.9
+    assert result.row("V-2", ContentCategory.IMAGE).requests > result.row("V-2", ContentCategory.VIDEO).requests
+    # Multimedia carries (nearly) all requests on every site.
+    for site in result.sites():
+        multimedia = (
+            result.share(site, ContentCategory.VIDEO, "requests")
+            + result.share(site, ContentCategory.IMAGE, "requests")
+        )
+        assert multimedia > 0.9
+    # Fig. 2(b): video's byte share far exceeds its request share.
+    for site in ("V-2", "P-1", "S-1"):
+        assert result.share(site, ContentCategory.VIDEO, "bytes_requested") > result.share(
+            site, ContentCategory.VIDEO, "requests"
+        )

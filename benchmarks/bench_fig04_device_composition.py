@@ -1,0 +1,39 @@
+"""Figure 4: device type composition of each site's visitors.
+
+Paper claim: desktop dominates everywhere; V-2 has more than 95% desktop
+visitors; image-heavy and social sites receive relatively more smartphone
+visitors, with more than a third of S-1's visitors on smartphone/misc
+devices.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.aggregate import device_composition
+from repro.types import DeviceType
+
+
+def test_fig04_device_composition(benchmark, dataset):
+    result = benchmark(device_composition, dataset)
+
+    print_header("Fig. 4 — device type composition (visitor share)",
+                 "desktop dominant; V-2 >95% desktop; S-1 >1/3 smartphone+misc")
+    print(f"{'site':6} {'desktop':>9} {'android':>9} {'ios':>9} {'misc':>9}")
+    for site in sorted(result.counts):
+        print(
+            f"{site:6} "
+            f"{result.share(site, DeviceType.DESKTOP):>9.1%} "
+            f"{result.share(site, DeviceType.ANDROID):>9.1%} "
+            f"{result.share(site, DeviceType.IOS):>9.1%} "
+            f"{result.share(site, DeviceType.MISC):>9.1%}"
+        )
+
+    for site in result.counts:
+        assert result.share(site, DeviceType.DESKTOP) > 0.5
+    assert result.share("V-2", DeviceType.DESKTOP) > 0.92
+    assert result.mobile_share("S-1") > 0.30
+    # Image/social sites are more mobile than the video sites.
+    video_mobile = max(result.mobile_share("V-1"), result.mobile_share("V-2"))
+    assert result.mobile_share("S-1") > video_mobile
+    assert result.mobile_share("P-1") > video_mobile

@@ -1,0 +1,47 @@
+"""Figure 5: content size distributions (video and image CDFs).
+
+Paper claim: sizes span a few KB to hundreds of MB; the majority of
+requested video objects exceed 1 MB (P-2's videos are the largest);
+images stay below 1 MB with bi-modal distributions (thumbnails vs
+full-resolution pictures).
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.content import size_cdf
+from repro.types import ContentCategory
+
+
+def test_fig05_content_sizes(benchmark, dataset):
+    video = benchmark(size_cdf, dataset, ContentCategory.VIDEO)
+    image = size_cdf(dataset, ContentCategory.IMAGE)
+
+    print_header("Fig. 5 — content size CDFs",
+                 "videos mostly >1MB (P-2 largest); images <1MB and bi-modal")
+    print(f"{'site':6} {'video p10':>10} {'video p50':>10} {'video p90':>10} "
+          f"{'image p10':>10} {'image p50':>10} {'image p90':>10}")
+    for site in sorted(set(video.cdfs) | set(image.cdfs)):
+        def fmt(cdf, q):
+            if cdf is None:
+                return "--"
+            value = cdf.quantile(q)
+            return f"{value / 1e6:.2f}MB" if value >= 1e6 else f"{value / 1e3:.0f}KB"
+
+        v = video.cdfs.get(site)
+        i = image.cdfs.get(site)
+        print(f"{site:6} {fmt(v, .1):>10} {fmt(v, .5):>10} {fmt(v, .9):>10} "
+              f"{fmt(i, .1):>10} {fmt(i, .5):>10} {fmt(i, .9):>10}")
+
+    # Videos: majority above 1 MB on the video sites.
+    for site in ("V-1", "V-2"):
+        assert video.fraction_above(site, 1_000_000) > 0.6
+    # Images: essentially all below ~1.5 MB on the image-heavy sites.
+    for site in ("P-1", "P-2", "S-1"):
+        assert image.cdfs[site].evaluate(1_500_000) > 0.9
+    # Bi-modality: thumbnails vs large photos on at least one image site.
+    assert any(cdf.is_bimodal(split=60_000) for cdf in image.cdfs.values())
+    # P-2 videos are the largest (compare against the video sites' medians).
+    if "P-2" in video.cdfs and len(video.cdfs["P-2"]) >= 5:
+        assert video.median_bytes("P-2") > video.median_bytes("V-1")

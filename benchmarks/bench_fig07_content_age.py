@@ -1,0 +1,34 @@
+"""Figure 7: fraction of objects requested at different ages.
+
+Paper claim: a declining fraction of objects is requested as content
+ages — a substantial share of objects goes quiet within a few days of
+injection, and only a small fraction stays requested all week.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.content import content_age_survival
+
+
+def test_fig07_content_age(benchmark, dataset):
+    result = benchmark(content_age_survival, dataset)
+
+    print_header("Fig. 7 — fraction of objects requested at age d (days)",
+                 "declines with age; only a minority requested throughout the week")
+    print(f"{'site':6} " + " ".join(f"d{d}" for d in range(1, 8)))
+    for site, fractions in sorted(result.fractions.items()):
+        print(f"{site:6} " + " ".join(f"{value:.2f}" for value in fractions))
+
+    for site, fractions in result.fractions.items():
+        # Day 1 is full by construction (birth = first request).
+        assert fractions[0] == 1.0
+        # The curve declines: late-life days see far fewer objects than day 1.
+        assert fractions[-1] < 0.95
+        early = sum(fractions[:3]) / 3
+        late = sum(fractions[4:]) / 3
+        assert late < early
+    # At least one site's day-7 fraction drops below half (short/long-lived
+    # content dying off), echoing the paper's ~10% end-of-week figure.
+    assert min(fractions[-1] for fractions in result.fractions.values()) < 0.5

@@ -1,0 +1,58 @@
+"""Figure 9: cluster medoids for the V-2 adult website (video objects).
+
+Paper claim: the medoid series of V-2's clusters show (a) a diurnal
+pattern with regular day/night variation, (b) a long-lived pattern that
+peaks within the first day and decays diurnally over days, and (c) a
+short-lived pattern that dies within hours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header
+
+from repro.core.clustering import cluster_popularity_trends
+from repro.types import ContentCategory, TrendClass
+
+_SPARK = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 56) -> str:
+    chunks = np.array_split(np.asarray(values, dtype=float), width)
+    levels = np.array([chunk.sum() for chunk in chunks])
+    peak = levels.max()
+    if peak <= 0:
+        return " " * width
+    idx = np.minimum((levels / peak * (len(_SPARK) - 1)).astype(int), len(_SPARK) - 1)
+    return "".join(_SPARK[i] for i in idx)
+
+
+def run(dataset):
+    return cluster_popularity_trends(dataset, "V-2", ContentCategory.VIDEO, max_objects=60, n_clusters=6)
+
+
+def test_fig09_medoids_v2(benchmark, dataset):
+    result = benchmark.pedantic(run, args=(dataset,), rounds=1, iterations=1)
+
+    print_header("Fig. 9 — cluster medoids, V-2 video (Sat -> Fri)",
+                 "diurnal / long-lived / short-lived medoid shapes")
+    for cluster in result.clusters:
+        band_width = float(np.mean(cluster.band_upper - cluster.band_lower))
+        print(f"  [{cluster.label.value:12} n={cluster.size:3} band~{band_width:.4f}] |{sparkline(cluster.medoid_series)}|")
+
+    labels = {cluster.label for cluster in result.clusters}
+    assert TrendClass.DIURNAL in labels
+    assert TrendClass.LONG_LIVED in labels or TrendClass.SHORT_LIVED in labels
+
+    diurnal = result.cluster_of(TrendClass.DIURNAL)
+    if diurnal is not None:
+        series = np.asarray(diurnal.medoid_series)
+        active = np.nonzero(series)[0]
+        # Diurnal medoid stays active across most of the week.
+        assert len({h // 24 for h in active}) >= 4
+    short = result.cluster_of(TrendClass.SHORT_LIVED)
+    if short is not None:
+        series = np.asarray(short.medoid_series)
+        active = np.nonzero(series)[0]
+        # Short-lived medoid's activity is confined to a couple of days.
+        assert active[-1] - active[0] <= 72

@@ -1,0 +1,32 @@
+"""Figure 12: user session length distributions (10-minute timeout).
+
+Paper claim: adult-site sessions are short — medians around a minute,
+well below the engagement of comparable non-adult sites (e.g. ~2 minutes
+average for YouTube).
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.users import session_lengths
+
+
+def test_fig12_sessions(benchmark, dataset):
+    result = benchmark(session_lengths, dataset)
+
+    print_header("Fig. 12 — session length CDFs (10-min timeout)",
+                 "median session lengths are short (around a minute)")
+    print(f"{'site':6} {'sessions':>9} {'p50':>7} {'p90':>8} {'mean':>8}")
+    for site in sorted(result.cdfs):
+        cdf = result.cdfs[site]
+        print(
+            f"{site:6} {result.counts[site]:>9,} {cdf.quantile(0.5):>6.0f}s "
+            f"{cdf.quantile(0.9):>7.0f}s {cdf.mean:>7.0f}s"
+        )
+
+    for site in result.cdfs:
+        # Short engagement: median well under non-adult norms.
+        assert result.median_seconds(site) < 240
+    # The video sites sustain real (non-degenerate) browsing sessions.
+    assert result.median_seconds("V-1") > 5

@@ -1,0 +1,38 @@
+"""Figure 14: CDF of repeated content access (requests per user).
+
+Paper claim: at least 10% of video objects are requested more than 10
+times by a single user, while under 1% of image objects are — video
+content is markedly more addictive/engaging than image content.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.users import addiction_cdf
+from repro.types import ContentCategory
+
+
+def run(dataset):
+    return (
+        addiction_cdf(dataset, ContentCategory.VIDEO),
+        addiction_cdf(dataset, ContentCategory.IMAGE),
+    )
+
+
+def test_fig14_addiction(benchmark, dataset):
+    video, image = benchmark(run, dataset)
+
+    print_header("Fig. 14 — objects with >10 requests by one user",
+                 ">=10% of video objects; <1% of image objects")
+    print(f"{'site':6} {'video>10':>10} {'image>10':>10}")
+    for site in sorted(set(video.cdfs) | set(image.cdfs)):
+        v = f"{video.fraction_above(site, 10):.1%}" if site in video.cdfs else "--"
+        i = f"{image.fraction_above(site, 10):.1%}" if site in image.cdfs else "--"
+        print(f"{site:6} {v:>10} {i:>10}")
+
+    # The paper's headline numbers, as inequalities.
+    for site in ("V-1", "V-2"):
+        assert video.fraction_above(site, 10) >= 0.08
+    for site in ("P-1", "P-2", "S-1"):
+        assert image.fraction_above(site, 10) < 0.02

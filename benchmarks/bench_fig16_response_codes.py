@@ -1,0 +1,40 @@
+"""Figure 16: HTTP response codes of adult traffic.
+
+Paper claim: the observed codes are 200, 204, 206, 304, 403 and 416,
+with 200 dominating; 206 (Range) is prominent for video; and 304 is an
+unusually small fraction because adult browsing happens predominantly in
+incognito/private windows whose caches are discarded.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.caching import response_code_analysis
+from repro.types import OBSERVED_STATUS_CODES, ContentCategory
+
+
+def test_fig16_response_codes(benchmark, dataset):
+    result = benchmark(response_code_analysis, dataset)
+
+    print_header("Fig. 16 — HTTP response code shares",
+                 "200 dominant; 206 prominent for video; 304 rare (incognito browsing)")
+    codes = result.observed_codes()
+    print(f"{'site':6} " + " ".join(f"{code:>8}" for code in codes))
+    for site in sorted(result.counts):
+        print(f"{site:6} " + " ".join(f"{result.code_share(site, code):>8.2%}" for code in codes))
+
+    # Only the codes the paper observes appear.
+    assert set(codes) <= set(OBSERVED_STATUS_CODES)
+    for site in result.counts:
+        assert result.code_share(site, 200) > 0.5
+        assert result.code_share(site, 304) < 0.08
+    # Range responses concentrate on the video-dominant site.
+    assert result.code_share("V-1", 206) > result.code_share("P-1", 206)
+    # 206 responses are (by construction and by HTTP semantics) video-only.
+    video_panel = result.category_counts(ContentCategory.VIDEO)
+    image_panel = result.category_counts(ContentCategory.IMAGE)
+    total_image_206 = sum(counter.get(206, 0) for counter in image_panel.values())
+    total_video_206 = sum(counter.get(206, 0) for counter in video_panel.values())
+    assert total_image_206 == 0
+    assert total_video_206 > 0

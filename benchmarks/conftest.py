@@ -1,0 +1,39 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+One pipeline run (generate + simulate) is shared by every benchmark; each
+``bench_figNN`` file then times its *analysis* step and prints the
+rows/series the corresponding paper figure reports.  Scale is selected via
+the ``REPRO_SCALE`` environment variable (tiny | small | medium; default
+small — big enough for stable distribution shapes, small enough to run on
+a laptop in well under a minute).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import PipelineResult, run_pipeline
+from repro.workload.scale import ScaleConfig
+
+BENCH_SEED = 2016  # the paper's year
+
+
+@pytest.fixture(scope="session")
+def pipeline_result() -> PipelineResult:
+    return run_pipeline(seed=BENCH_SEED, scale=ScaleConfig.from_env(default="small"))
+
+
+@pytest.fixture(scope="session")
+def dataset(pipeline_result: PipelineResult):
+    return pipeline_result.dataset
+
+
+@pytest.fixture(scope="session")
+def catalogs(pipeline_result: PipelineResult):
+    return pipeline_result.catalogs
+
+
+def print_header(figure: str, claim: str) -> None:
+    print()
+    print(f"=== {figure} ===")
+    print(f"paper: {claim}")

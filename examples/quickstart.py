@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a synthetic week of adult-CDN traffic and analyse it.
+
+This reproduces the paper's whole measurement pipeline in three steps:
+
+1. generate a workload for the five paper sites (V-1, V-2, P-1, P-2, S-1),
+2. run it through the CDN simulator to obtain HTTP access logs,
+3. run the full figure battery (Figs. 1-16) and print the text report.
+
+Run with:  python examples/quickstart.py [--scale tiny|small|medium] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import ScaleConfig, Study, run_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("tiny", "small", "medium"), default="tiny")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    scale = {"tiny": ScaleConfig.tiny, "small": ScaleConfig.small, "medium": ScaleConfig.medium}[args.scale]()
+
+    print(f"Generating one synthetic week at scale={args.scale!r}, seed={args.seed} ...")
+    started = time.perf_counter()
+    result, report = run_study(seed=args.seed, scale=scale, study=Study(max_cluster_objects=50))
+    elapsed = time.perf_counter() - started
+
+    total_requests = len(result.records)
+    total_bytes = sum(r.bytes_served for r in result.records)
+    total_users = len(result.dataset.users_of())
+    print(
+        f"Simulated {total_requests:,} logged requests from {total_users:,} users "
+        f"({total_bytes / 1e9:.1f} GB served) in {elapsed:.1f}s\n"
+    )
+    print(report.render_text())
+
+    print("\n-- per-site cache performance (simulator-side) --")
+    for site, metrics in sorted(result.simulator.metrics.sites.items()):
+        print(f"  {site}: requests={metrics.requests:>7,}  hit_ratio={metrics.hit_ratio:6.1%}")
+    print(f"  overall hit ratio: {result.simulator.metrics.overall_hit_ratio:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

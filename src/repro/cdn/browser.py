@@ -1,0 +1,92 @@
+"""Per-user browser caches and incognito browsing.
+
+Section V of the paper explains why adult sites see unusually few 304
+responses: users overwhelmingly browse adult content in incognito/private
+windows, and browsers discard the private cache when the window closes —
+so conditional revalidation (If-Modified-Since → 304) rarely happens.
+
+We model each user with a small browser cache.  Incognito users lose the
+whole cache at the end of every session (a gap larger than the session
+timeout); regular users keep it for the whole trace.  On a browser-cache
+hit for a revalidatable object the client issues a conditional request,
+which the edge answers with 304 when the version still matches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.workload.sessions import SESSION_TIMEOUT_SECONDS
+
+
+@dataclass(slots=True)
+class BrowserEntry:
+    """One object held in a user's browser cache."""
+
+    key: str
+    size: int
+    version: int
+    stored_at: float
+
+
+class BrowserCache:
+    """LRU browser cache of one user.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Browser disk-cache budget (small relative to the CDN).
+    incognito:
+        Private browsing: the cache empties whenever a new session starts
+        (detected by a request gap above the session timeout).
+    """
+
+    def __init__(self, capacity_bytes: int = 250_000_000, incognito: bool = False):
+        if capacity_bytes <= 0:
+            raise ValueError(f"browser cache capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.incognito = incognito
+        self._entries: OrderedDict[str, BrowserEntry] = OrderedDict()
+        self._used = 0
+        self._last_request_at: float | None = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def observe_request_time(self, now: float) -> None:
+        """Advance the user's clock; incognito caches clear between sessions."""
+        if (
+            self.incognito
+            and self._last_request_at is not None
+            and now - self._last_request_at > SESSION_TIMEOUT_SECONDS
+        ):
+            self.clear()
+        self._last_request_at = now
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+    def get(self, key: str) -> BrowserEntry | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: str, size: int, version: int, now: float) -> bool:
+        """Store an object; returns False when it exceeds the whole cache."""
+        if size > self.capacity_bytes:
+            return False
+        if key in self._entries:
+            self._used -= self._entries.pop(key).size
+        while self._used + size > self.capacity_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= evicted.size
+        self._entries[key] = BrowserEntry(key=key, size=size, version=version, stored_at=now)
+        self._used += size
+        return True

@@ -1,0 +1,102 @@
+"""CDN geography: data centers and their placement.
+
+A CDN operator "typically places content at multiple geographically
+distributed data centers" (paper Section III).  We model one data center
+per continent by default; the router sends each user to the data center on
+their own continent, falling back to the nearest by a fixed inter-continent
+latency table when a continent has no data center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.types import Continent
+
+#: Representative one-way latencies between continents in milliseconds.
+#: Only relative order matters (routing picks the minimum).
+INTER_CONTINENT_LATENCY_MS: dict[tuple[Continent, Continent], float] = {}
+
+
+def _register_latency(a: Continent, b: Continent, ms: float) -> None:
+    INTER_CONTINENT_LATENCY_MS[(a, b)] = ms
+    INTER_CONTINENT_LATENCY_MS[(b, a)] = ms
+
+
+for continent in Continent:
+    INTER_CONTINENT_LATENCY_MS[(continent, continent)] = 5.0
+_register_latency(Continent.NORTH_AMERICA, Continent.SOUTH_AMERICA, 120.0)
+_register_latency(Continent.NORTH_AMERICA, Continent.EUROPE, 90.0)
+_register_latency(Continent.NORTH_AMERICA, Continent.ASIA, 150.0)
+_register_latency(Continent.SOUTH_AMERICA, Continent.EUROPE, 180.0)
+_register_latency(Continent.SOUTH_AMERICA, Continent.ASIA, 280.0)
+_register_latency(Continent.EUROPE, Continent.ASIA, 160.0)
+
+
+def latency_ms(a: Continent, b: Continent) -> float:
+    """One-way latency between two continents."""
+    return INTER_CONTINENT_LATENCY_MS[(a, b)]
+
+
+@dataclass(frozen=True, slots=True)
+class DataCenter:
+    """One CDN data center.
+
+    Attributes
+    ----------
+    dc_id:
+        Stable identifier recorded in log lines.
+    continent:
+        Where the data center sits.
+    cache_capacity_bytes:
+        Total edge-cache capacity at this location.
+    """
+
+    dc_id: str
+    continent: Continent
+    cache_capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity_bytes <= 0:
+            raise ConfigError(f"{self.dc_id}: cache capacity must be positive")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """The set of data centers a simulation runs with."""
+
+    datacenters: tuple[DataCenter, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.datacenters:
+            raise ConfigError("topology needs at least one data center")
+        ids = [dc.dc_id for dc in self.datacenters]
+        if len(set(ids)) != len(ids):
+            raise ConfigError("data center ids must be unique")
+
+    def __iter__(self):
+        return iter(self.datacenters)
+
+    def __len__(self) -> int:
+        return len(self.datacenters)
+
+    def by_continent(self) -> dict[Continent, list[DataCenter]]:
+        mapping: dict[Continent, list[DataCenter]] = {}
+        for dc in self.datacenters:
+            mapping.setdefault(dc.continent, []).append(dc)
+        return mapping
+
+
+def default_datacenters(cache_capacity_bytes: int = 40_000_000_000) -> Topology:
+    """One data center per continent (the paper's four-continent footprint)."""
+    return Topology(
+        tuple(
+            DataCenter(
+                dc_id=f"dc-{continent.value}",
+                continent=continent,
+                cache_capacity_bytes=cache_capacity_bytes,
+            )
+            for continent in Continent
+        )
+    )

@@ -1,0 +1,95 @@
+"""The publisher origin server behind the CDN.
+
+Edge misses are filled from the origin.  The origin also owns the
+behaviours that produce the paper's non-200 response codes (Fig. 16):
+
+* access control / hotlink protection → **403 Forbidden** for a small,
+  per-site fraction of requests;
+* out-of-range Range requests → **416 Range Not Satisfiable**;
+* validators (modelled as a last-modified version counter) → the edge and
+  browser can revalidate, producing **304 Not Modified**;
+* objects not yet published (before their injection time) → 403 as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.sampling import make_rng
+from repro.workload.catalog import ContentObject
+
+
+@dataclass(frozen=True, slots=True)
+class OriginResponse:
+    """Origin's answer to an edge fetch."""
+
+    allowed: bool
+    version: int
+    bytes_fetched: int
+
+
+class OriginServer:
+    """Authoritative store for every site's catalog.
+
+    Parameters
+    ----------
+    forbidden_rate:
+        Probability an arbitrary request trips access control (expired
+        signed URL, hotlinking, geo block) — the paper's 403s.
+    mutation_rate_per_day:
+        Expected per-object probability of content being re-encoded or
+        replaced per day, which bumps the version and invalidates
+        conditional requests.
+    """
+
+    def __init__(
+        self,
+        forbidden_rate: float = 0.015,
+        mutation_rate_per_day: float = 0.02,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if not 0.0 <= forbidden_rate < 1.0:
+            raise ValueError(f"forbidden_rate must be in [0, 1), got {forbidden_rate}")
+        if mutation_rate_per_day < 0:
+            raise ValueError("mutation_rate_per_day must be non-negative")
+        self.forbidden_rate = forbidden_rate
+        self.mutation_rate_per_day = mutation_rate_per_day
+        self._rng = make_rng(rng)
+        self._versions: dict[str, int] = {}
+        self._last_checked: dict[str, float] = {}
+        self.fetches = 0
+        self.bytes_served = 0
+
+    def current_version(self, obj: ContentObject, now: float) -> int:
+        """Object version at time ``now`` (Poisson mutation process).
+
+        Versions advance lazily: on each call, mutations since the last
+        check are sampled from the configured daily rate.
+        """
+        version = self._versions.get(obj.object_id, 1)
+        last = self._last_checked.get(obj.object_id, max(obj.birth_time, 0.0))
+        elapsed_days = max(0.0, (now - last) / 86_400.0)
+        if elapsed_days > 0 and self.mutation_rate_per_day > 0:
+            bumps = int(self._rng.poisson(self.mutation_rate_per_day * elapsed_days))
+            version += bumps
+        self._versions[obj.object_id] = version
+        self._last_checked[obj.object_id] = max(last, now)
+        return version
+
+    def is_published(self, obj: ContentObject, now: float) -> bool:
+        return now >= obj.birth_time
+
+    def check_access(self, rng: np.random.Generator | None = None) -> bool:
+        """Whether an individual request passes access control."""
+        generator = rng if rng is not None else self._rng
+        return generator.random() >= self.forbidden_rate
+
+    def fetch(self, obj: ContentObject, size: int, now: float) -> OriginResponse:
+        """Serve ``size`` bytes of ``obj`` to an edge server."""
+        if not self.is_published(obj, now):
+            return OriginResponse(allowed=False, version=0, bytes_fetched=0)
+        self.fetches += 1
+        self.bytes_served += size
+        return OriginResponse(allowed=True, version=self.current_version(obj, now), bytes_fetched=size)

@@ -1,0 +1,122 @@
+"""Streaming video playback model.
+
+The paper notes that "customized caching strategies for streaming video
+content can also be implemented by the CDN" (Section V) and that the CDN
+treats video chunks as separate cache objects.  The default simulator
+models one log record per viewing; :class:`PlaybackModel` refines that
+into a *segment-request stream*: a viewer downloads sequential byte
+ranges (progressive/DASH-style segments), may seek, and usually abandons
+before the end — consistent with the short engagement the paper measures.
+
+Enable via ``SimulationConfig(playback_mode=True)``; each video viewing
+then produces one 206 log record per downloaded segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdn.http import ClientIntent
+from repro.errors import CdnError
+from repro.types import ContentCategory
+from repro.workload.catalog import ContentObject
+
+
+@dataclass(frozen=True, slots=True)
+class PlaybackSegment:
+    """One segment download within a viewing."""
+
+    intent: ClientIntent
+    offset_seconds: float
+
+
+class PlaybackModel:
+    """Turns a video viewing into a sequence of segment range requests.
+
+    Parameters
+    ----------
+    segment_bytes:
+        Bytes per playback segment (aligning with the CDN chunk size gives
+        the cleanest cache behaviour but is not required).
+    abandon_prob:
+        Per-segment probability the viewer stops watching — the geometric
+        abandonment that makes most viewings partial.
+    seek_prob:
+        Per-segment probability of jumping to a random later position
+        instead of continuing sequentially.
+    segment_duration_s:
+        Wall-clock seconds of content per segment (spaces the log records
+        of one viewing in time).
+    max_segments:
+        Safety cap per viewing.
+    """
+
+    def __init__(
+        self,
+        segment_bytes: int = 2_000_000,
+        abandon_prob: float = 0.12,
+        seek_prob: float = 0.08,
+        segment_duration_s: float = 8.0,
+        max_segments: int = 64,
+    ):
+        if segment_bytes <= 0:
+            raise CdnError(f"segment_bytes must be positive, got {segment_bytes}")
+        if not 0.0 < abandon_prob <= 1.0:
+            raise CdnError(f"abandon_prob must be in (0, 1], got {abandon_prob}")
+        if not 0.0 <= seek_prob < 1.0:
+            raise CdnError(f"seek_prob must be in [0, 1), got {seek_prob}")
+        if max_segments <= 0:
+            raise CdnError("max_segments must be positive")
+        self.segment_bytes = segment_bytes
+        self.abandon_prob = abandon_prob
+        self.seek_prob = seek_prob
+        self.segment_duration_s = segment_duration_s
+        self.max_segments = max_segments
+
+    def is_streamable(self, obj: ContentObject) -> bool:
+        """Only multi-segment videos stream; small objects download whole."""
+        return obj.category is ContentCategory.VIDEO and obj.size_bytes > self.segment_bytes
+
+    def viewing(self, obj: ContentObject, rng: np.random.Generator) -> list[PlaybackSegment]:
+        """Generate one viewing's segment downloads.
+
+        Always downloads at least the first segment (the player needs the
+        header); subsequent segments follow sequentially with geometric
+        abandonment and occasional seeks to later positions.
+        """
+        if not self.is_streamable(obj):
+            return [PlaybackSegment(intent=ClientIntent(kind="full"), offset_seconds=0.0)]
+        total_segments = (obj.size_bytes + self.segment_bytes - 1) // self.segment_bytes
+        segments: list[PlaybackSegment] = []
+        position = 0
+        elapsed = 0.0
+        for _ in range(min(self.max_segments, total_segments * 2)):
+            if position >= total_segments:
+                break
+            start = position * self.segment_bytes
+            length = min(self.segment_bytes, obj.size_bytes - start)
+            segments.append(
+                PlaybackSegment(
+                    intent=ClientIntent(kind="range", range_start=start, range_length=length),
+                    offset_seconds=elapsed,
+                )
+            )
+            elapsed += self.segment_duration_s
+            if rng.random() < self.abandon_prob:
+                break
+            if position + 1 < total_segments and rng.random() < self.seek_prob:
+                position = int(rng.integers(position + 1, total_segments))
+            else:
+                position += 1
+        return segments
+
+    def expected_watch_fraction(self) -> float:
+        """Mean fraction of a long video a viewer downloads (no seeks).
+
+        Geometric abandonment with per-segment survival ``1 - p`` gives a
+        mean of ``1/p`` segments; expressed against the max cap.
+        """
+        mean_segments = min(1.0 / self.abandon_prob, float(self.max_segments))
+        return mean_segments / self.max_segments

@@ -1,0 +1,101 @@
+"""ISP-side proxy caches between users and the CDN.
+
+Paper Section V: because adult users browse in incognito mode, publishers
+cannot rely on *browser* caches — but "objects accessed multiple times by
+a single user or a small number of users should be locally cached closer
+to end-users", e.g. in "proxy caches deployed by many ISPs".  Unlike a
+private browser cache, an ISP proxy survives incognito windows and is
+shared by all of the ISP's subscribers.
+
+:class:`IspProxyLayer` models one forward proxy per continent.  A request
+that hits the proxy never reaches the CDN (and therefore never appears in
+CDN logs — the same visibility effect browser caches have); a miss is
+forwarded and the response is admitted if cacheable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdn.cache import Cache, CacheStats
+from repro.cdn.policies import make_policy
+from repro.errors import CdnError
+from repro.types import Continent, ContentCategory
+from repro.workload.catalog import ContentObject
+
+
+@dataclass
+class ProxyConfig:
+    """Tunables of the ISP proxy layer."""
+
+    #: Capacity of each continent's proxy cache, bytes.
+    capacity_bytes: int = 2_000_000_000
+    #: Replacement policy (small-object-friendly GDSF by default).
+    policy: str = "gdsf"
+    #: Conservative freshness window; proxies revalidate more eagerly than
+    #: CDN edges because they cannot see publisher cache-control detail.
+    ttl_seconds: float = 6 * 3600.0
+    #: Whether the proxy caches video (most ISP proxies skip huge bodies).
+    cache_video: bool = False
+    #: Objects above this size bypass the proxy entirely.
+    max_object_bytes: int = 8_000_000
+
+
+class IspProxyLayer:
+    """One shared forward-proxy cache per continent."""
+
+    def __init__(self, config: ProxyConfig | None = None):
+        self.config = config or ProxyConfig()
+        if self.config.capacity_bytes <= 0:
+            raise CdnError("proxy capacity must be positive")
+        self.caches: dict[Continent, Cache] = {
+            continent: Cache(
+                capacity_bytes=self.config.capacity_bytes,
+                policy=make_policy(self.config.policy),
+                default_ttl=self.config.ttl_seconds,
+            )
+            for continent in Continent
+        }
+
+    def cacheable(self, obj: ContentObject) -> bool:
+        """Whether the proxy would store this object at all."""
+        if obj.size_bytes > self.config.max_object_bytes:
+            return False
+        if obj.category is ContentCategory.VIDEO and not self.config.cache_video:
+            return False
+        return True
+
+    def serve_locally(self, continent: Continent, obj: ContentObject, now: float) -> bool:
+        """True when the proxy satisfies the request without the CDN.
+
+        Counts a lookup on the continent's cache either way, so proxy hit
+        ratios are measurable per continent.
+        """
+        if not self.cacheable(obj):
+            return False
+        cache = self.caches[continent]
+        return cache.lookup(obj.object_id, now) is not None
+
+    def admit(self, continent: Continent, obj: ContentObject, now: float) -> bool:
+        """Store a response that just passed through towards a user."""
+        if not self.cacheable(obj):
+            return False
+        return self.caches[continent].insert(obj.object_id, obj.size_bytes, now)
+
+    def stats(self, continent: Continent) -> CacheStats:
+        return self.caches[continent].stats
+
+    @property
+    def total_hits(self) -> int:
+        return sum(cache.stats.hits for cache in self.caches.values())
+
+    @property
+    def total_lookups(self) -> int:
+        return sum(cache.stats.lookups for cache in self.caches.values())
+
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.total_lookups
+        if lookups == 0:
+            return 0.0
+        return self.total_hits / lookups

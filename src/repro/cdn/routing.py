@@ -1,0 +1,74 @@
+"""Request routing: which data center serves which user.
+
+"A user's request for content is redirected to the closest data center via
+DNS redirection, anycast, or other CDN-specific methods" (paper Section
+III).  We abstract those mechanisms into a latency-minimising map from the
+user's continent to a data center; ties break deterministically by id.
+"""
+
+from __future__ import annotations
+
+from repro.cdn.geo import DataCenter, Topology, latency_ms
+from repro.errors import RoutingError
+from repro.types import Continent
+from repro.workload.population import User
+
+
+class Router:
+    """Route users to the lowest-latency *healthy* data center.
+
+    Supports failure injection: :meth:`mark_down` removes a data center
+    from the routing table (its users fail over to the next-nearest
+    healthy location, as DNS-based redirection does on health-check
+    failure), and :meth:`mark_up` restores it.
+    """
+
+    def __init__(self, topology: Topology):
+        if len(topology) == 0:
+            raise RoutingError("router needs a non-empty topology")
+        self.topology = topology
+        self._down: set[str] = set()
+        self._by_continent: dict[Continent, DataCenter] = {}
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        healthy = [dc for dc in self.topology if dc.dc_id not in self._down]
+        if not healthy:
+            raise RoutingError("no healthy data center remains")
+        for continent in Continent:
+            self._by_continent[continent] = min(
+                healthy,
+                key=lambda dc: (latency_ms(continent, dc.continent), dc.dc_id),
+            )
+
+    def _nearest(self, continent: Continent) -> DataCenter:
+        return self._by_continent[continent]
+
+    def mark_down(self, dc_id: str) -> None:
+        """Take a data center out of rotation (failure injection)."""
+        if dc_id not in {dc.dc_id for dc in self.topology}:
+            raise RoutingError(f"unknown data center {dc_id!r}")
+        self._down.add(dc_id)
+        self._rebuild()
+
+    def mark_up(self, dc_id: str) -> None:
+        """Restore a previously failed data center."""
+        self._down.discard(dc_id)
+        self._rebuild()
+
+    @property
+    def down(self) -> frozenset[str]:
+        """Identifiers of data centers currently out of rotation."""
+        return frozenset(self._down)
+
+    def route(self, user: User) -> DataCenter:
+        """The data center serving ``user``."""
+        return self._by_continent[user.continent]
+
+    def route_continent(self, continent: Continent) -> DataCenter:
+        """The data center serving users on ``continent``."""
+        return self._by_continent[continent]
+
+    def latency_to_user(self, user: User) -> float:
+        """One-way latency (ms) between the user and their data center."""
+        return latency_ms(user.continent, self.route(user).continent)

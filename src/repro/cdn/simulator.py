@@ -1,0 +1,444 @@
+"""The CDN simulator: workload requests in, HTTP log records out.
+
+For each workload :class:`~repro.workload.generator.Request` the simulator
+
+1. routes the user to their data center (:mod:`repro.cdn.routing`);
+2. consults the user's browser cache — a fresh private copy turns the
+   request into a conditional GET (:mod:`repro.cdn.browser`), answered 304
+   when the origin version is unchanged;
+3. otherwise decides the HTTP intent (full / Range / beacon) via the
+   client model (:mod:`repro.cdn.http`);
+4. applies access control (403/416 paths) and serves the bytes through the
+   edge cache chunk-by-chunk (:mod:`repro.cdn.server`);
+5. emits one :class:`~repro.trace.record.LogRecord` with the timestamp,
+   publisher, hashed URL, file type, size, user agent, anonymised user id,
+   cache status, status code, and bytes served — exactly the schema the
+   paper's dataset has (Section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.cdn.browser import BrowserCache
+from repro.cdn.cache import Cache
+from repro.cdn.chunking import Chunker
+from repro.cdn.geo import Topology, default_datacenters, latency_ms
+from repro.cdn.http import ClientIntent, ClientModel, decide_response
+from repro.cdn.metrics import SimulationMetrics
+from repro.cdn.origin import OriginServer
+from repro.cdn.playback import PlaybackModel
+from repro.cdn.policies import make_policy
+from repro.cdn.proxy import IspProxyLayer, ProxyConfig
+from repro.cdn.replication import PushReplicator
+from repro.cdn.routing import Router
+from repro.cdn.server import EdgeServer
+from repro.stats.sampling import make_rng
+from repro.trace.anonymize import Anonymizer
+from repro.trace.record import LogRecord
+from repro.types import CacheStatus, Continent, ContentCategory
+from repro.workload.generator import Request
+from repro.workload.profiles import SiteProfile
+
+
+@dataclass
+class SimulationConfig:
+    """Tunables of a simulation run."""
+
+    #: Edge cache replacement policy name (see :mod:`repro.cdn.policies`).
+    #: GDSF by default: size-aware eviction keeps the small-object (image)
+    #: tier resident under churn from large videos, which is the regime the
+    #: paper observes (image hit ratios above video; Section V suggests the
+    #: CDN treats small and large objects differently).
+    cache_policy: str = "gdsf"
+    #: Edge cache capacity per data center, bytes.
+    cache_capacity_bytes: int = 40_000_000_000
+    #: Video chunk size, bytes.
+    chunk_bytes: int = 2_000_000
+    #: Trend-class-aware TTL revalidation at the edge (paper §IV-B idea).
+    trend_aware_ttl: bool = True
+    #: Browser cache capacity per user, bytes.
+    browser_cache_bytes: int = 250_000_000
+    #: Whether browsers cache video at all (players usually bypass).
+    browser_caches_video: bool = False
+    #: Probability a fresh browser-cache copy is served locally with *no*
+    #: CDN request at all (heuristic freshness).  The remainder issues a
+    #: conditional GET, producing the paper's (rare) 304s.
+    browser_local_serve_prob: float = 0.75
+    #: Run separate small-object and large-object caching tiers per edge
+    #: (the paper's Section V suggestion).  False = one unified cache.
+    split_small_object_cache: bool = True
+    #: Share of capacity given to the small-object tier when split.
+    small_cache_fraction: float = 0.15
+    #: Warm the edge caches with popular pre-existing objects before the
+    #: trace starts (a real CDN's caches are never cold on day one).
+    warm_caches: bool = True
+    #: Fraction of each edge cache pre-filled during warm-up.
+    warm_fill_fraction: float = 0.8
+    #: Background churn: fraction of each edge cache's capacity evicted per
+    #: day by *other publishers'* traffic (the CDN serves dozens of sites we
+    #: do not simulate).  Under the size-aware default policy this pressure
+    #: lands mostly on large cold video chunks, reproducing the paper's
+    #: image-over-video hit-ratio ordering.  0 disables churn.
+    background_churn_per_day: float = 0.35
+    #: Proactively push popular newly-injected diurnal/long-lived objects
+    #: to every edge (paper Section V / IV-B implication).  Enable via
+    #: :meth:`CdnSimulator.enable_push` (needs the catalogs).
+    push_popularity_quantile: float = 0.9
+    #: Continent hosting the publishers' origin servers (miss penalty).
+    origin_continent: Continent = Continent.NORTH_AMERICA
+    #: Optional ISP proxy-cache layer between users and the CDN (paper
+    #: Section V).  Requests the proxy satisfies never reach the CDN and
+    #: produce no log records.
+    isp_proxies: bool = False
+    #: Per-continent ISP proxy capacity, bytes (when enabled).
+    isp_proxy_capacity_bytes: int = 2_000_000_000
+    #: Streaming playback mode: each video viewing produces one 206 log
+    #: record per downloaded segment (sequential + seeks + abandonment)
+    #: instead of one record per viewing.  Off by default — the paper's
+    #: log granularity is per request, and the figure calibrations assume
+    #: it; enable for the streaming-cache ablation.
+    playback_mode: bool = False
+    #: Master seed for the simulator's own randomness.
+    seed: int = 7
+    #: Per-site cache admission probability multiplier; defaults to each
+    #: profile's ``cache_priority`` when profiles are supplied.
+    cache_priority: dict[str, float] = field(default_factory=dict)
+
+
+class CdnSimulator:
+    """Simulate a CDN serving a stream of workload requests.
+
+    Parameters
+    ----------
+    profiles:
+        Site profiles (used for per-site cache priority); optional.
+    topology:
+        Data centers; defaults to one per continent.
+    config:
+        Simulation tunables.
+    """
+
+    def __init__(
+        self,
+        profiles: Iterable[SiteProfile] | None = None,
+        topology: Topology | None = None,
+        config: SimulationConfig | None = None,
+    ):
+        self.config = config or SimulationConfig()
+        self.topology = topology or default_datacenters(self.config.cache_capacity_bytes)
+        self.router = Router(self.topology)
+        self._rng = make_rng(self.config.seed)
+        self.origin = OriginServer(rng=make_rng(self.config.seed + 1))
+        self.client_model = ClientModel()
+        self.anonymizer = Anonymizer(salt=f"repro-{self.config.seed}")
+        self.metrics = SimulationMetrics()
+        chunker = Chunker(self.config.chunk_bytes)
+        self.edges: dict[str, EdgeServer] = {}
+        for dc in self.topology:
+            if self.config.split_small_object_cache:
+                small_capacity = max(1, int(self.config.small_cache_fraction * dc.cache_capacity_bytes))
+                large_capacity = max(1, dc.cache_capacity_bytes - small_capacity)
+                small_cache = Cache(capacity_bytes=small_capacity, policy=make_policy(self.config.cache_policy))
+                large_cache = Cache(capacity_bytes=large_capacity, policy=make_policy(self.config.cache_policy))
+            else:
+                small_cache = large_cache = Cache(
+                    capacity_bytes=dc.cache_capacity_bytes,
+                    policy=make_policy(self.config.cache_policy),
+                )
+            self.edges[dc.dc_id] = EdgeServer(
+                dc, small_cache, large_cache, self.origin, chunker,
+                trend_aware_ttl=self.config.trend_aware_ttl,
+            )
+        self._cache_priority = dict(self.config.cache_priority)
+        if profiles is not None:
+            for profile in profiles:
+                self._cache_priority.setdefault(profile.name, profile.cache_priority)
+        self._browsers: dict[str, BrowserCache] = {}
+        self._churn_clock: dict[str, float] = {dc.dc_id: 0.0 for dc in self.topology}
+        self._replicator: PushReplicator | None = None
+        self.proxies: IspProxyLayer | None = None
+        if self.config.isp_proxies:
+            self.proxies = IspProxyLayer(
+                ProxyConfig(capacity_bytes=self.config.isp_proxy_capacity_bytes)
+            )
+        self.playback: PlaybackModel | None = None
+        if self.config.playback_mode:
+            self.playback = PlaybackModel(segment_bytes=self.config.chunk_bytes)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, requests: Iterable[Request]) -> Iterator[LogRecord]:
+        """Process requests in timestamp order, yielding log records.
+
+        Requests fully served from a user's local browser cache produce no
+        CDN log record (exactly why the paper's publishers cannot measure —
+        or rely on — browser caching).  Input order is trusted (the
+        workload generator emits sorted streams); out-of-order input only
+        perturbs cache-state realism, not correctness.
+        """
+        for request in requests:
+            if self.playback is not None and self.playback.is_streamable(request.obj):
+                yield from self.serve_viewing(request)
+                continue
+            record = self.serve(request)
+            if record is not None:
+                yield record
+
+    def warm(self, catalogs: Iterable) -> int:
+        """Pre-fill every edge cache with popular pre-existing objects.
+
+        Small objects (at most one chunk) are inserted first regardless of
+        popularity — the small-object tier the paper's Section V suggests,
+        cheap to keep resident — then larger objects follow in descending
+        popularity until the configured fill fraction is reached.  Only
+        pre-existing objects (alive at t=0) participate, subject to each
+        site's cache priority.  Returns the number of cache entries
+        created.  Models the steady-state cache a real CDN has when a
+        one-week observation window opens.
+        """
+        objects = [
+            obj
+            for catalog in catalogs
+            for obj in catalog
+            if obj.is_preexisting
+        ]
+        objects.sort(key=lambda o: (o.size_bytes > self.config.chunk_bytes, -o.popularity_weight))
+        inserted = 0
+        for edge in self.edges.values():
+            budgets = {id(cache): int(self.config.warm_fill_fraction * cache.capacity_bytes) for cache in edge.caches()}
+            for obj in objects:
+                if all(cache.used_bytes >= budgets[id(cache)] for cache in edge.caches()):
+                    break
+                if self._rng.random() >= self._cache_priority.get(obj.site, 1.0):
+                    continue
+                ttl = edge._ttl_for(obj)
+                for chunk in edge.chunker.all_chunks(obj):
+                    cache = edge.cache_for(chunk.size)
+                    if cache.used_bytes + chunk.size > budgets[id(cache)]:
+                        break
+                    # Version 1 matches the origin's initial version, so the
+                    # warm entries revalidate cleanly until content mutates.
+                    if cache.insert(chunk.key, chunk.size, 0.0, ttl=ttl, version=1):
+                        inserted += 1
+        return inserted
+
+    def enable_push(self, catalogs: Iterable) -> int:
+        """Turn on push-based replication of popular injected objects.
+
+        Builds the :class:`~repro.cdn.replication.PushReplicator` plan over
+        ``catalogs`` (paper Section V: push popular diurnal/long-lived
+        objects to locations close to end-users).  Returns the number of
+        planned pushes.
+        """
+        self._replicator = PushReplicator(popularity_quantile=self.config.push_popularity_quantile)
+        return self._replicator.build_plan(catalogs)
+
+    @property
+    def push_stats(self):
+        """Replication statistics, or None when push is disabled."""
+        return self._replicator.stats if self._replicator is not None else None
+
+    def serve_viewing(self, request: Request) -> Iterator[LogRecord]:
+        """Serve one video viewing as a stream of segment requests.
+
+        Only used in playback mode: the viewing is expanded into
+        sequential/seeking segment downloads with abandonment, each served
+        through the edge as an independent 206 request and logged
+        separately.
+        """
+        user, obj = request.user, request.obj
+        dc = self.router.route(user)
+        edge = self.edges[dc.dc_id]
+        browser = self._browsers.get(user.user_id)
+        if browser is None:
+            browser = BrowserCache(self.config.browser_cache_bytes, incognito=user.incognito)
+            self._browsers[user.user_id] = browser
+        browser.observe_request_time(request.timestamp)
+
+        allowed = self.origin.is_published(obj, request.timestamp) and self.origin.check_access(self._rng)
+        if not allowed:
+            decision = decide_response(ClientIntent(kind="full"), obj, False, 0)
+            self.metrics.record(
+                site=obj.site, category=obj.category, cache_status=CacheStatus.MISS,
+                status_code=decision.status_code, bytes_served=0, bytes_from_origin=0,
+                latency_ms=2 * latency_ms(user.continent, dc.continent),
+            )
+            yield self._record_for(request, dc, CacheStatus.MISS, decision, chunk_index=-1)
+            return
+
+        assert self.playback is not None
+        for segment in self.playback.viewing(obj, self._rng):
+            now = request.timestamp + segment.offset_seconds
+            self._apply_background_churn(dc.dc_id, edge, now)
+            if self._replicator is not None:
+                self._replicator.advance(now, self.edges.values())
+            version = self.origin.current_version(obj, now)
+            decision = decide_response(segment.intent, obj, True, version)
+            cacheable = self._rng.random() < self._cache_priority.get(obj.site, 1.0)
+            result = edge.serve(obj, segment.intent, now, cacheable=cacheable)
+            latency = 2 * latency_ms(user.continent, dc.continent)
+            if result.cache_status is CacheStatus.MISS:
+                latency += 2 * latency_ms(dc.continent, self.config.origin_continent)
+            self.metrics.record(
+                site=obj.site, category=obj.category, cache_status=result.cache_status,
+                status_code=decision.status_code, bytes_served=decision.bytes_served,
+                bytes_from_origin=result.bytes_from_origin, latency_ms=latency,
+            )
+            yield LogRecord(
+                timestamp=now,
+                site=obj.site,
+                object_id=self.anonymizer.url(obj.object_id),
+                extension=obj.extension,
+                object_size=obj.size_bytes,
+                user_id=self.anonymizer.user(user.user_id),
+                user_agent=user.user_agent,
+                cache_status=result.cache_status,
+                status_code=decision.status_code,
+                bytes_served=decision.bytes_served,
+                datacenter=dc.dc_id,
+                chunk_index=result.first_chunk_index,
+            )
+
+    def _record_for(self, request: Request, dc, cache_status, decision, chunk_index: int) -> LogRecord:
+        """Build a log record for a non-playback outcome (e.g. 403)."""
+        return LogRecord(
+            timestamp=request.timestamp,
+            site=request.obj.site,
+            object_id=self.anonymizer.url(request.obj.object_id),
+            extension=request.obj.extension,
+            object_size=request.obj.size_bytes,
+            user_id=self.anonymizer.user(request.user.user_id),
+            user_agent=request.user.user_agent,
+            cache_status=cache_status,
+            status_code=decision.status_code,
+            bytes_served=decision.bytes_served,
+            datacenter=dc.dc_id,
+            chunk_index=chunk_index,
+        )
+
+    def serve(self, request: Request) -> LogRecord | None:
+        """Serve one request end-to-end; None when served from the browser.
+
+        A fresh local copy is served without contacting the CDN with
+        probability ``browser_local_serve_prob`` — those accesses are
+        invisible to CDN logs, which is the mechanism behind the paper's
+        incognito/304 discussion (Section V).
+        """
+        user, obj = request.user, request.obj
+        now = request.timestamp
+        dc = self.router.route(user)
+        edge = self.edges[dc.dc_id]
+        self._apply_background_churn(dc.dc_id, edge, now)
+        if self._replicator is not None:
+            self._replicator.advance(now, self.edges.values())
+
+        browser = self._browsers.get(user.user_id)
+        if browser is None:
+            browser = BrowserCache(self.config.browser_cache_bytes, incognito=user.incognito)
+            self._browsers[user.user_id] = browser
+        browser.observe_request_time(now)
+
+        cached = browser.get(obj.object_id)
+        if cached is not None and self._rng.random() < self.config.browser_local_serve_prob:
+            return None  # served locally; the CDN never sees this access
+
+        if self.proxies is not None and self.proxies.serve_locally(user.continent, obj, now):
+            return None  # satisfied by the ISP proxy; invisible to CDN logs
+        cached_version = cached.version if cached is not None else None
+        intent = self.client_model.intent(obj, cached_version, self._rng)
+
+        allowed = self.origin.is_published(obj, now) and self.origin.check_access(self._rng)
+        current_version = self.origin.current_version(obj, now) if allowed else 0
+        decision = decide_response(intent, obj, allowed, current_version)
+
+        # First-byte latency model: user <-> edge round trip; on an edge
+        # miss the edge must first fetch from the origin continent.
+        latency = 2 * latency_ms(user.continent, dc.continent)
+
+        cache_status = CacheStatus.MISS
+        chunk_index = -1
+        bytes_from_origin = 0
+        if decision.status_code in (200, 206):
+            cacheable = self._rng.random() < self._cache_priority.get(obj.site, 1.0)
+            result = edge.serve(obj, intent, now, cacheable=cacheable)
+            cache_status = result.cache_status
+            chunk_index = result.first_chunk_index
+            bytes_from_origin = result.bytes_from_origin
+            if cache_status is CacheStatus.MISS:
+                latency += 2 * latency_ms(dc.continent, self.config.origin_continent)
+            self._maybe_browser_store(browser, obj, current_version, now)
+            if self.proxies is not None:
+                self.proxies.admit(user.continent, obj, now)
+        elif decision.status_code == 304:
+            # Revalidation is answered from edge metadata; treat as a HIT
+            # when the edge still holds the (first chunk of the) object.
+            if edge.chunker.is_chunked(obj):
+                first_key = f"{obj.object_id}#c0"
+                first_size = edge.chunker.chunk_bytes
+            else:
+                first_key = obj.object_id
+                first_size = obj.size_bytes
+            holder = edge.cache_for(first_size)
+            cache_status = CacheStatus.HIT if holder.peek(first_key) is not None else CacheStatus.MISS
+
+        if decision.status_code == 200 and cached is not None and cached.version != current_version:
+            # Conditional request that missed: browser updates its copy.
+            self._maybe_browser_store(browser, obj, current_version, now, force=True)
+
+        self.metrics.record(
+            site=obj.site,
+            category=obj.category,
+            cache_status=cache_status,
+            status_code=decision.status_code,
+            bytes_served=decision.bytes_served,
+            bytes_from_origin=bytes_from_origin,
+            latency_ms=latency,
+        )
+        return LogRecord(
+            timestamp=now,
+            site=obj.site,
+            object_id=self.anonymizer.url(obj.object_id),
+            extension=obj.extension,
+            object_size=obj.size_bytes,
+            user_id=self.anonymizer.user(user.user_id),
+            user_agent=user.user_agent,
+            cache_status=cache_status,
+            status_code=decision.status_code,
+            bytes_served=decision.bytes_served,
+            datacenter=dc.dc_id,
+            chunk_index=chunk_index,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _apply_background_churn(self, dc_id: str, edge: EdgeServer, now: float) -> None:
+        """Evict bytes on behalf of unsimulated publishers' traffic."""
+        if self.config.background_churn_per_day <= 0:
+            return
+        last = self._churn_clock[dc_id]
+        if now <= last:
+            return
+        elapsed_days = (now - last) / 86_400.0
+        # The shared large-object pool takes the pressure from other
+        # publishers' (unsimulated) traffic; the small-object tier is
+        # engineered to keep its working set resident.
+        budget = int(self.config.background_churn_per_day * elapsed_days * edge.large_cache.capacity_bytes)
+        if budget > 0:
+            edge.large_cache.apply_pressure(budget)
+            self._churn_clock[dc_id] = now
+
+    def _maybe_browser_store(
+        self,
+        browser: BrowserCache,
+        obj,
+        version: int,
+        now: float,
+        force: bool = False,
+    ) -> None:
+        if obj.category is ContentCategory.VIDEO and not self.config.browser_caches_video and not force:
+            return
+        browser.put(obj.object_id, obj.size_bytes, version, now)

@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's pipeline stages::
+
+    repro generate  --out trace.csv --seed 0 --scale small
+    repro simulate  --policy lru --capacity-gb 40 --seed 0 --scale small
+    repro analyze   --trace trace.csv
+    repro reproduce --seed 0 --scale small        # end to end, full report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.cdn.simulator import SimulationConfig
+from repro.cdn.policies import policy_names
+from repro.core.dataset import TraceDataset
+from repro.core.report import Study
+from repro.pipeline import generate_trace_file, run_pipeline, run_study
+from repro.workload.scale import ScaleConfig
+
+_SCALES = {"tiny": ScaleConfig.tiny, "small": ScaleConfig.small, "medium": ScaleConfig.medium}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="workload scale relative to the paper's 323 TB week (default small)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'The Internet is for Porn: Measurement and Analysis "
+            "of Online Adult Traffic' (ICDCS 2016)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic CDN trace file")
+    _add_common(gen)
+    gen.add_argument("--out", required=True, help="output path (.csv / .jsonl / .bin)")
+
+    sim = sub.add_parser("simulate", help="run the CDN simulator and print cache metrics")
+    _add_common(sim)
+    sim.add_argument("--policy", choices=policy_names(), default="lru", help="edge cache policy")
+    sim.add_argument("--capacity-gb", type=float, default=40.0, help="edge cache capacity per DC")
+    sim.add_argument("--no-ttl", action="store_true", help="disable trend-aware TTL revalidation")
+
+    ana = sub.add_parser("analyze", help="run the full analysis over an existing trace file")
+    ana.add_argument("--trace", required=True, help="trace file written by `repro generate`")
+    ana.add_argument("--no-clustering", action="store_true", help="skip the O(n^2) DTW clustering")
+    ana.add_argument("--export-dir", help="also write one CSV per figure into this directory")
+
+    rep = sub.add_parser("reproduce", help="end-to-end: generate, simulate, analyze, report")
+    _add_common(rep)
+    rep.add_argument("--no-clustering", action="store_true", help="skip the O(n^2) DTW clustering")
+    rep.add_argument("--export-dir", help="also write one CSV per figure into this directory")
+
+    cmp_parser = sub.add_parser(
+        "compare", help="contrast the adult sites with a non-adult control site"
+    )
+    _add_common(cmp_parser)
+
+    summarize = sub.add_parser("summarize", help="print headline statistics of a trace file")
+    summarize.add_argument("--trace", required=True)
+
+    merge = sub.add_parser("merge", help="merge time-ordered trace shards into one file")
+    merge.add_argument("--out", required=True)
+    merge.add_argument("inputs", nargs="+", help="trace files to merge")
+
+    split = sub.add_parser("split", help="split a trace into per-site or per-day shards")
+    split.add_argument("--trace", required=True)
+    split.add_argument("--out-dir", required=True)
+    split.add_argument("--by", choices=("site", "day"), default="site")
+    return parser
+
+
+def _maybe_export(report, export_dir: str | None) -> None:
+    if not export_dir:
+        return
+    from repro.core.export import export_report
+
+    paths = export_report(report, export_dir)
+    print(f"wrote {len(paths)} figure CSVs to {export_dir}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = _SCALES[getattr(args, "scale", "small")]() if hasattr(args, "scale") else None
+
+    if args.command == "generate":
+        written = generate_trace_file(args.out, seed=args.seed, scale=scale)
+        print(f"wrote {written} records to {args.out}")
+        return 0
+
+    if args.command == "simulate":
+        config = SimulationConfig(
+            cache_policy=args.policy,
+            cache_capacity_bytes=int(args.capacity_gb * 1e9),
+            trend_aware_ttl=not args.no_ttl,
+            seed=args.seed + 1,
+        )
+        result = run_pipeline(seed=args.seed, scale=scale, sim_config=config)
+        metrics = result.simulator.metrics
+        print(f"policy={args.policy} capacity={args.capacity_gb:.0f}GB requests={metrics.total_requests}")
+        for site, site_metrics in sorted(metrics.sites.items()):
+            print(f"  {site}: hit_ratio={site_metrics.hit_ratio:6.1%} requests={site_metrics.requests}")
+        print(f"  overall hit ratio: {metrics.overall_hit_ratio:6.1%}")
+        return 0
+
+    if args.command == "analyze":
+        dataset = TraceDataset.from_file(args.trace)
+        study = Study(run_clustering=not args.no_clustering)
+        report = study.run(dataset)
+        print(report.render_text())
+        _maybe_export(report, args.export_dir)
+        return 0
+
+    if args.command == "reproduce":
+        study = Study(run_clustering=not args.no_clustering)
+        _, report = run_study(seed=args.seed, scale=scale, study=study)
+        print(report.render_text())
+        _maybe_export(report, args.export_dir)
+        return 0
+
+    if args.command == "compare":
+        from repro.core.comparison import compare_to_baseline, render_comparison
+        from repro.workload.profiles import profile_nonadult
+
+        adult = run_pipeline(seed=args.seed, scale=scale)
+        baseline = run_pipeline(seed=args.seed + 1, scale=scale, profiles=(profile_nonadult(),))
+        comparison = compare_to_baseline(adult.dataset, baseline.dataset)
+        print(render_comparison(comparison))
+        return 0
+
+    if args.command == "summarize":
+        from repro.trace.tools import summarize_trace
+
+        print(summarize_trace(args.trace).render())
+        return 0
+
+    if args.command == "merge":
+        from repro.trace.tools import merge_traces
+
+        written = merge_traces(args.inputs, args.out)
+        print(f"merged {len(args.inputs)} files into {args.out} ({written} records)")
+        return 0
+
+    if args.command == "split":
+        from repro.trace.tools import split_trace_by_day, split_trace_by_site
+
+        if args.by == "site":
+            parts = split_trace_by_site(args.trace, args.out_dir)
+        else:
+            parts = split_trace_by_day(args.trace, args.out_dir)
+        print(f"wrote {len(parts)} shards to {args.out_dir}")
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Aggregate analyses (paper Section IV-A; Figures 1-4).
+
+* :func:`content_composition`   — Fig. 1: objects per category per site.
+* :func:`traffic_composition`   — Fig. 2: request counts and byte volume
+  per category per site.
+* :func:`hourly_volume`         — Fig. 3: normalised hourly traffic volume
+  in users' local time.
+* :func:`device_composition`    — Fig. 4: visitor share per device type,
+  parsed from user agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataset import TraceDataset
+from repro.stats.timeseries import HourlyTimeSeries, diurnality_index
+from repro.trace.useragent import parse_user_agent
+from repro.types import Continent, ContentCategory, DeviceType
+from repro.workload.catalog import ContentCatalog
+
+#: Map data-center id back to a continent UTC offset for local-time series.
+_DC_OFFSET = {f"dc-{continent.value}": continent.utc_offset_hours for continent in Continent}
+
+
+@dataclass
+class CompositionRow:
+    """Per-(site, category) counts for Figs. 1 and 2."""
+
+    site: str
+    category: ContentCategory
+    objects: int = 0
+    requests: int = 0
+    bytes_requested: int = 0
+
+    def share_of(self, total: int, attribute: str) -> float:
+        value = getattr(self, attribute)
+        return value / total if total else 0.0
+
+
+@dataclass
+class CompositionResult:
+    """All rows of a composition analysis, with per-site totals."""
+
+    rows: list[CompositionRow] = field(default_factory=list)
+
+    def row(self, site: str, category: ContentCategory) -> CompositionRow:
+        for r in self.rows:
+            if r.site == site and r.category is category:
+                return r
+        raise KeyError((site, category))
+
+    def sites(self) -> list[str]:
+        return sorted({r.site for r in self.rows})
+
+    def site_total(self, site: str, attribute: str) -> int:
+        return sum(getattr(r, attribute) for r in self.rows if r.site == site)
+
+    def share(self, site: str, category: ContentCategory, attribute: str) -> float:
+        total = self.site_total(site, attribute)
+        return self.row(site, category).share_of(total, attribute)
+
+
+def content_composition(
+    dataset: TraceDataset,
+    catalogs: dict[str, ContentCatalog] | None = None,
+) -> CompositionResult:
+    """Fig. 1: how many objects per category each site stores.
+
+    The paper counts objects on the CDN servers.  When the generating
+    ``catalogs`` are available (simulation pipeline) they give the exact
+    stored inventory; otherwise distinct objects observed in the trace are
+    the standard log-side estimate.
+    """
+    result = CompositionResult()
+    index: dict[tuple[str, ContentCategory], CompositionRow] = {}
+
+    def row_for(site: str, category: ContentCategory) -> CompositionRow:
+        key = (site, category)
+        if key not in index:
+            index[key] = CompositionRow(site=site, category=category)
+            result.rows.append(index[key])
+        return index[key]
+
+    if catalogs is not None:
+        for site, catalog in catalogs.items():
+            for category, count in catalog.category_counts().items():
+                row_for(site, category).objects += count
+    else:
+        for stats in dataset.object_stats.values():
+            row_for(stats.site, stats.category).objects += 1
+    # Ensure all three categories exist for every site (zero rows included).
+    for site in {r.site for r in result.rows}:
+        for category in ContentCategory:
+            row_for(site, category)
+    result.rows.sort(key=lambda r: (r.site, r.category.value))
+    return result
+
+
+def traffic_composition(dataset: TraceDataset) -> CompositionResult:
+    """Fig. 2: request count (a) and requested bytes (b) per category.
+
+    Request size follows the paper's definition — the total size of the
+    objects requested — so a video requested twice counts its full size
+    twice even if only a range was transferred.
+    """
+    result = CompositionResult()
+    index: dict[tuple[str, ContentCategory], CompositionRow] = {}
+    for stats in dataset.object_stats.values():
+        key = (stats.site, stats.category)
+        row = index.get(key)
+        if row is None:
+            row = CompositionRow(site=stats.site, category=stats.category)
+            index[key] = row
+            result.rows.append(row)
+        row.objects += 1
+        row.requests += stats.requests
+        row.bytes_requested += stats.bytes_requested
+    for site in {r.site for r in result.rows}:
+        for category in ContentCategory:
+            if (site, category) not in index:
+                row = CompositionRow(site=site, category=category)
+                index[(site, category)] = row
+                result.rows.append(row)
+    result.rows.sort(key=lambda r: (r.site, r.category.value))
+    return result
+
+
+@dataclass
+class HourlyVolumeResult:
+    """Fig. 3: per-site normalised hourly volume in local time."""
+
+    series: dict[str, HourlyTimeSeries]
+
+    def percentage_series(self, site: str) -> HourlyTimeSeries:
+        """The site's series as percent of its weekly volume."""
+        normalized = self.series[site].normalized()
+        return HourlyTimeSeries(normalized.hours, normalized.values * 100.0)
+
+    def peak_hour(self, site: str) -> int:
+        """Local hour of day with the site's highest average volume."""
+        return self.series[site].peak_hour_of_day()
+
+    def diurnality(self, site: str) -> float:
+        """Peak-to-mean ratio of the site's 24-hour profile."""
+        return diurnality_index(self.series[site].fold_daily())
+
+
+def hourly_volume(dataset: TraceDataset, local_time: bool = True, by_bytes: bool = False) -> HourlyVolumeResult:
+    """Fig. 3: hourly traffic volume time series per site.
+
+    ``local_time=True`` converts each record's timestamp into the
+    requesting user's local timezone before binning — the paper's method.
+    The user's timezone is recovered from the serving data center (the
+    router serves users from their own continent).  ``by_bytes`` switches
+    the volume metric from request count to bytes served.
+    """
+    hours = dataset.duration_hours
+    series: dict[str, HourlyTimeSeries] = {}
+    for record in dataset.records:
+        site_series = series.get(record.site)
+        if site_series is None:
+            site_series = HourlyTimeSeries(hours)
+            series[record.site] = site_series
+        timestamp = record.timestamp
+        if local_time:
+            offset = _DC_OFFSET.get(record.datacenter, 0)
+            timestamp = (timestamp + offset * 3600.0) % (hours * 3600.0)
+        site_series.add(timestamp, float(record.bytes_served) if by_bytes else 1.0)
+    return HourlyVolumeResult(series=series)
+
+
+@dataclass
+class DeviceCompositionResult:
+    """Fig. 4: per-site visitor counts per device type."""
+
+    counts: dict[str, dict[DeviceType, int]]
+
+    def share(self, site: str, device: DeviceType) -> float:
+        site_counts = self.counts[site]
+        total = sum(site_counts.values())
+        return site_counts.get(device, 0) / total if total else 0.0
+
+    def mobile_share(self, site: str) -> float:
+        """Fraction of visitors on smartphones + misc devices."""
+        return sum(self.share(site, device) for device in DeviceType if device.is_mobile)
+
+
+def device_composition(dataset: TraceDataset) -> DeviceCompositionResult:
+    """Fig. 4: the device mix of each site's *visitors* (unique users).
+
+    Devices are recovered by parsing each user's User-Agent header, the
+    paper's method (Section III).
+    """
+    counts: dict[str, dict[DeviceType, int]] = {}
+    for user_id in dataset.users_of():
+        site = dataset._user_site[user_id]
+        device = parse_user_agent(dataset.user_agent_of(user_id)).device
+        site_counts = counts.setdefault(site, {device_type: 0 for device_type in DeviceType})
+        site_counts[device] += 1
+    return DeviceCompositionResult(counts=counts)

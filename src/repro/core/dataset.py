@@ -1,0 +1,256 @@
+"""Trace datasets: indexed views over a stream of log records.
+
+:class:`TraceDataset` ingests log records (from a generator pipeline or a
+trace file) once and builds the indices every analysis needs: per-site
+record lists, per-object aggregates (:class:`ObjectStats` — request count,
+unique users, byte volume, hourly series, hit counts), and per-user
+request timelines.  Analyses then run off these indices without rescanning
+the trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import EmptyDatasetError
+from repro.stats.timeseries import HourlyTimeSeries
+from repro.trace.reader import TraceReader
+from repro.trace.record import LogRecord
+from repro.types import CacheStatus, ContentCategory, HOUR_SECONDS
+
+#: Status codes that represent an actual content access (the per-object
+#: popularity and hit-ratio analyses exclude errors and beacons).
+CONTENT_STATUS_CODES = frozenset({200, 206, 304})
+
+
+@dataclass
+class ObjectStats:
+    """Aggregates for one object within one trace."""
+
+    object_id: str
+    site: str
+    category: ContentCategory
+    extension: str
+    size_bytes: int
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    bytes_requested: int = 0
+    first_seen: float = float("inf")
+    last_seen: float = float("-inf")
+    user_counts: dict[str, int] = field(default_factory=dict)
+    hourly: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def unique_users(self) -> int:
+        return len(self.user_counts)
+
+    @property
+    def requests_per_user(self) -> float:
+        """Mean requests per unique user (Fig. 13's above-diagonal signal)."""
+        if not self.user_counts:
+            return 0.0
+        return self.requests / len(self.user_counts)
+
+    @property
+    def max_requests_by_one_user(self) -> int:
+        """Largest request count any single user gave this object.
+
+        Fig. 14's addiction metric: an object "requested more than 10 times
+        by a user" has ``max_requests_by_one_user > 10``.
+        """
+        if not self.user_counts:
+            return 0
+        return max(self.user_counts.values())
+
+    @property
+    def hit_ratio(self) -> float:
+        """Cache hit ratio over cacheable accesses (0 when none)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def hourly_series(self, hours: int) -> HourlyTimeSeries:
+        """Dense hourly request-count series for this object."""
+        series = HourlyTimeSeries(hours)
+        for hour, count in self.hourly.items():
+            series.values[min(hour, hours - 1)] += count
+        return series
+
+
+class TraceDataset:
+    """All analyses' view of one trace.
+
+    Build with :meth:`from_records` (any iterable of records) or
+    :meth:`from_file` (a trace written by
+    :class:`~repro.trace.writer.TraceWriter`).
+    """
+
+    def __init__(self) -> None:
+        self.records: list[LogRecord] = []
+        self.object_stats: dict[str, ObjectStats] = {}
+        self._user_times: dict[str, list[float]] = {}
+        self._user_site: dict[str, str] = {}
+        self._user_agent: dict[str, str] = {}
+        self._sites: set[str] = set()
+        self.duration_seconds: float = 0.0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[LogRecord]) -> "TraceDataset":
+        dataset = cls()
+        for record in records:
+            dataset._ingest(record)
+        dataset._finalize()
+        return dataset
+
+    @classmethod
+    def from_file(cls, path: str | Path, **reader_kwargs: object) -> "TraceDataset":
+        return cls.from_records(TraceReader(path, **reader_kwargs))  # type: ignore[arg-type]
+
+    def _ingest(self, record: LogRecord) -> None:
+        self.records.append(record)
+        self._sites.add(record.site)
+        self.duration_seconds = max(self.duration_seconds, record.timestamp)
+
+        stats = self.object_stats.get(record.object_id)
+        if stats is None:
+            stats = ObjectStats(
+                object_id=record.object_id,
+                site=record.site,
+                category=record.category,
+                extension=record.extension,
+                size_bytes=record.object_size,
+            )
+            self.object_stats[record.object_id] = stats
+        if record.status_code in CONTENT_STATUS_CODES:
+            stats.requests += 1
+            stats.bytes_requested += record.object_size
+            stats.user_counts[record.user_id] = stats.user_counts.get(record.user_id, 0) + 1
+            stats.first_seen = min(stats.first_seen, record.timestamp)
+            stats.last_seen = max(stats.last_seen, record.timestamp)
+            hour = int(record.timestamp // HOUR_SECONDS)
+            stats.hourly[hour] = stats.hourly.get(hour, 0) + 1
+            if record.status_code in (200, 206):
+                if record.cache_status is CacheStatus.HIT:
+                    stats.hits += 1
+                else:
+                    stats.misses += 1
+
+        # Per-user timeline (all statuses: a 403 is still user activity).
+        key = record.user_id
+        self._user_times.setdefault(key, []).append(record.timestamp)
+        self._user_site.setdefault(key, record.site)
+        self._user_agent.setdefault(key, record.user_agent)
+
+    def _finalize(self) -> None:
+        for times in self._user_times.values():
+            times.sort()
+
+    # -- accessors -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def sites(self) -> list[str]:
+        """Sites present in the trace, sorted."""
+        return sorted(self._sites)
+
+    @property
+    def duration_hours(self) -> int:
+        return max(1, int(np.ceil((self.duration_seconds + 1) / HOUR_SECONDS)))
+
+    def require_nonempty(self) -> None:
+        if not self.records:
+            raise EmptyDatasetError("trace contains no records")
+
+    def site_records(self, site: str) -> list[LogRecord]:
+        return [record for record in self.records if record.site == site]
+
+    def objects_of(
+        self,
+        site: str | None = None,
+        category: ContentCategory | None = None,
+        requested_only: bool = True,
+    ) -> list[ObjectStats]:
+        """Object aggregates filtered by site/category.
+
+        ``requested_only`` drops objects that never had a successful
+        content access (they appear only through 403/416 records).
+        """
+        result = []
+        for stats in self.object_stats.values():
+            if site is not None and stats.site != site:
+                continue
+            if category is not None and stats.category is not category:
+                continue
+            if requested_only and stats.requests == 0:
+                continue
+            result.append(stats)
+        return result
+
+    def users_of(self, site: str | None = None) -> list[str]:
+        """User ids, optionally restricted to one site."""
+        if site is None:
+            return list(self._user_times)
+        return [user for user, user_site in self._user_site.items() if user_site == site]
+
+    def user_timestamps(self, user_id: str) -> list[float]:
+        """A user's request timestamps, ascending."""
+        return self._user_times.get(user_id, [])
+
+    def user_agent_of(self, user_id: str) -> str:
+        return self._user_agent.get(user_id, "")
+
+    def top_objects(
+        self,
+        site: str,
+        category: ContentCategory,
+        limit: int,
+        min_requests: int = 2,
+    ) -> list[ObjectStats]:
+        """The ``limit`` most-requested objects of (site, category).
+
+        Objects below ``min_requests`` are excluded — a one-request series
+        has no shape to cluster.
+        """
+        candidates = [
+            stats
+            for stats in self.objects_of(site, category)
+            if stats.requests >= min_requests
+        ]
+        candidates.sort(key=lambda s: (-s.requests, s.object_id))
+        return candidates[:limit]
+
+    def sample_objects(
+        self,
+        site: str,
+        category: ContentCategory,
+        limit: int,
+        min_requests: int = 2,
+        seed: int = 0,
+    ) -> list[ObjectStats]:
+        """A seeded uniform sample of qualifying objects of (site, category).
+
+        Unlike :meth:`top_objects` this does not bias towards popular
+        (hence long-lived/diurnal) objects, so trend-cluster shares stay
+        representative of the whole requested catalog.
+        """
+        candidates = [
+            stats
+            for stats in self.objects_of(site, category)
+            if stats.requests >= min_requests
+        ]
+        candidates.sort(key=lambda s: s.object_id)
+        if len(candidates) <= limit:
+            return candidates
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(candidates), size=limit, replace=False)
+        return [candidates[int(i)] for i in sorted(chosen)]

@@ -1,0 +1,125 @@
+"""Export figure data as CSV files for external plotting.
+
+``render_text`` summarises; :func:`export_report` dumps the underlying
+series — one CSV per paper figure — so any plotting stack (matplotlib,
+gnuplot, spreadsheets) can regenerate the actual charts.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.report import StudyReport
+from repro.types import ContentCategory, DeviceType
+
+#: CDF curves are subsampled to this many points per site.
+CDF_POINTS = 200
+
+
+def _write(path: Path, header: list[str], rows: list[list]) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _cdf_rows(cdfs: dict, value_label: str) -> list[list]:
+    rows: list[list] = []
+    for site, cdf in sorted(cdfs.items()):
+        xs, ys = cdf.series(max_points=CDF_POINTS)
+        rows.extend([site, float(x), float(y)] for x, y in zip(xs, ys))
+    return rows
+
+
+def export_report(report: StudyReport, directory: str | Path) -> list[Path]:
+    """Write one CSV per figure into ``directory``; returns the paths."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def emit(name: str, header: list[str], rows: list[list]) -> None:
+        path = out / name
+        _write(path, header, rows)
+        written.append(path)
+
+    # Fig. 1 + 2: composition tables.
+    comp_rows = []
+    for row in report.content_composition.rows:
+        comp_rows.append([row.site, row.category.value, row.objects])
+    emit("fig01_content_composition.csv", ["site", "category", "objects"], comp_rows)
+
+    traffic_rows = []
+    for row in report.traffic_composition.rows:
+        traffic_rows.append([row.site, row.category.value, row.requests, row.bytes_requested])
+    emit("fig02_traffic_composition.csv", ["site", "category", "requests", "bytes_requested"], traffic_rows)
+
+    # Fig. 3: hourly series per site (normalised percentage).
+    hourly_rows = []
+    for site in sorted(report.hourly_volume.series):
+        series = report.hourly_volume.percentage_series(site)
+        hourly_rows.extend([site, hour, float(value)] for hour, value in enumerate(series.values))
+    emit("fig03_hourly_volume.csv", ["site", "hour", "percent_of_week"], hourly_rows)
+
+    # Fig. 4: device shares.
+    device_rows = []
+    for site in sorted(report.device_composition.counts):
+        for device in DeviceType:
+            device_rows.append([site, device.value, report.device_composition.share(site, device)])
+    emit("fig04_device_composition.csv", ["site", "device", "share"], device_rows)
+
+    # Fig. 5 + 6: CDFs.
+    emit("fig05a_video_sizes.csv", ["site", "bytes", "cdf"], _cdf_rows(report.video_sizes.cdfs, "bytes"))
+    emit("fig05b_image_sizes.csv", ["site", "bytes", "cdf"], _cdf_rows(report.image_sizes.cdfs, "bytes"))
+    emit("fig06a_video_popularity.csv", ["site", "requests", "cdf"], _cdf_rows(report.video_popularity.cdfs, "requests"))
+    emit("fig06b_image_popularity.csv", ["site", "requests", "cdf"], _cdf_rows(report.image_popularity.cdfs, "requests"))
+
+    # Fig. 7: aging curves.
+    age_rows = []
+    for site, fractions in sorted(report.age_survival.fractions.items()):
+        age_rows.extend([site, day + 1, float(value)] for day, value in enumerate(fractions))
+    emit("fig07_content_age.csv", ["site", "age_days", "fraction_requested"], age_rows)
+
+    # Figs. 8-10: cluster shares and medoid series.
+    if report.clustering:
+        share_rows = []
+        medoid_rows = []
+        for (site, category), result in sorted(report.clustering.items()):
+            for label, share in sorted(result.fractions().items(), key=lambda kv: kv[0].value):
+                share_rows.append([site, category, label.value, share])
+            for index, cluster in enumerate(result.clusters):
+                for hour, value in enumerate(cluster.medoid_series):
+                    medoid_rows.append([site, category, index, cluster.label.value, hour, float(value)])
+        emit("fig08_cluster_shares.csv", ["site", "category", "trend", "share"], share_rows)
+        emit("fig09_10_cluster_medoids.csv", ["site", "category", "cluster", "trend", "hour", "value"], medoid_rows)
+
+    # Figs. 11/12: engagement CDFs.
+    emit("fig11_interarrival.csv", ["site", "seconds", "cdf"], _cdf_rows(report.iat.cdfs, "seconds"))
+    emit("fig12_session_lengths.csv", ["site", "seconds", "cdf"], _cdf_rows(report.sessions.cdfs, "seconds"))
+
+    # Figs. 13/14: scatters and addiction CDFs.
+    scatter_rows = []
+    for key, scatter in sorted(report.extras.items()):
+        if not key.startswith("scatter:"):
+            continue
+        site = key.split(":", 1)[1]
+        for users, requests in zip(scatter.unique_users, scatter.requests):
+            scatter_rows.append([site, scatter.category.value, int(users), int(requests)])
+    if scatter_rows:
+        emit("fig13_repeated_access.csv", ["site", "category", "unique_users", "requests"], scatter_rows)
+    emit("fig14a_video_addiction.csv", ["site", "max_requests_by_one_user", "cdf"], _cdf_rows(report.video_addiction.cdfs, "x"))
+    emit("fig14b_image_addiction.csv", ["site", "max_requests_by_one_user", "cdf"], _cdf_rows(report.image_addiction.cdfs, "x"))
+
+    # Fig. 15: hit-ratio CDFs.
+    emit("fig15a_image_hit_ratios.csv", ["site", "hit_ratio", "cdf"], _cdf_rows(report.image_hit_ratio.cdfs, "x"))
+    emit("fig15b_video_hit_ratios.csv", ["site", "hit_ratio", "cdf"], _cdf_rows(report.video_hit_ratio.cdfs, "x"))
+
+    # Fig. 16: response code counts.
+    code_rows = []
+    for site, per_site in sorted(report.response_codes.counts.items()):
+        for category, counter in sorted(per_site.items(), key=lambda kv: kv[0].value):
+            for code, count in sorted(counter.items()):
+                code_rows.append([site, category.value, code, count])
+    emit("fig16_response_codes.csv", ["site", "category", "status_code", "count"], code_rows)
+
+    return written

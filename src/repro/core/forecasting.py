@@ -1,0 +1,157 @@
+"""Hourly traffic forecasting (paper Section IV-A implication).
+
+The paper concludes that "it is important for network operators to
+separately account for adult traffic in the traffic forecasting models
+and network resource allocation" because adult sites' daily cycles differ
+from the classic evening-peak web profile.  This module provides the
+machinery to quantify that statement:
+
+* :class:`GenericDiurnalForecaster` — the model an operator would use by
+  default: mean level × the classic 7-11pm diurnal shape;
+* :class:`SeasonalProfileForecaster` — a per-site model that learns the
+  site's own 24-hour profile from history (seasonal naive with averaged
+  daily shape);
+* :func:`evaluate_forecaster` — train/test split over an hourly series
+  with MAPE/RMSE;
+* :func:`provisioning_level` — the peak-percentile capacity a series
+  requires (the "network resource allocation" half of the implication).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.stats.timeseries import HourlyTimeSeries
+from repro.workload.temporal import daily_cycle
+
+
+class HourlyForecaster(abc.ABC):
+    """Forecast future hourly volumes from an observed prefix."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def fit(self, history: np.ndarray) -> "HourlyForecaster":
+        """Learn from ``history`` (hourly values, trace-aligned)."""
+
+    @abc.abstractmethod
+    def predict(self, horizon: int, start_hour: int) -> np.ndarray:
+        """Forecast ``horizon`` hours beginning at absolute ``start_hour``."""
+
+
+class GenericDiurnalForecaster(HourlyForecaster):
+    """Mean level x the classic evening-peak web profile.
+
+    Parameters mirror the diurnal shape prior literature reports (peaks
+    7-11pm); only the *level* is learned from history.
+    """
+
+    name = "generic-web"
+
+    def __init__(self, peak_hour: int = 21, amplitude: float = 2.2):
+        self._profile = daily_cycle(peak_hour, amplitude)
+        self._level = 0.0
+
+    def fit(self, history: np.ndarray) -> "GenericDiurnalForecaster":
+        history = np.asarray(history, dtype=float)
+        if history.size == 0:
+            raise AnalysisError("cannot fit a forecaster on empty history")
+        self._level = float(history.mean())
+        return self
+
+    def predict(self, horizon: int, start_hour: int) -> np.ndarray:
+        hours = (start_hour + np.arange(horizon)) % 24
+        return self._level * self._profile[hours]
+
+
+class SeasonalProfileForecaster(HourlyForecaster):
+    """Learns the site's own average 24-hour shape plus its level."""
+
+    name = "site-profile"
+
+    def __init__(self) -> None:
+        self._profile = np.ones(24)
+        self._level = 0.0
+
+    def fit(self, history: np.ndarray) -> "SeasonalProfileForecaster":
+        history = np.asarray(history, dtype=float)
+        if history.size < 24:
+            raise AnalysisError("seasonal forecaster needs at least one full day of history")
+        days = history.size // 24
+        profile = history[: days * 24].reshape(days, 24).mean(axis=0)
+        mean = profile.mean()
+        self._profile = profile / mean if mean > 0 else np.ones(24)
+        self._level = float(history.mean())
+        return self
+
+    def predict(self, horizon: int, start_hour: int) -> np.ndarray:
+        hours = (start_hour + np.arange(horizon)) % 24
+        return self._level * self._profile[hours]
+
+
+@dataclass(frozen=True, slots=True)
+class ForecastEvaluation:
+    """Accuracy of one forecaster on one series."""
+
+    forecaster: str
+    mape: float
+    rmse: float
+    horizon_hours: int
+
+
+def mean_absolute_percentage_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """MAPE over hours with non-zero actual volume (NaN when all zero)."""
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    mask = actual > 0
+    if not mask.any():
+        return float("nan")
+    return float(np.mean(np.abs(actual[mask] - predicted[mask]) / actual[mask]))
+
+
+def root_mean_squared_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def evaluate_forecaster(
+    forecaster: HourlyForecaster,
+    series: HourlyTimeSeries | np.ndarray,
+    train_hours: int,
+) -> ForecastEvaluation:
+    """Train on the first ``train_hours``; score on the rest."""
+    values = series.values if isinstance(series, HourlyTimeSeries) else np.asarray(series, dtype=float)
+    if not 0 < train_hours < values.size:
+        raise AnalysisError(
+            f"train_hours must split the series, got {train_hours} of {values.size}"
+        )
+    train, test = values[:train_hours], values[train_hours:]
+    forecaster.fit(train)
+    predicted = forecaster.predict(test.size, start_hour=train_hours)
+    return ForecastEvaluation(
+        forecaster=forecaster.name,
+        mape=mean_absolute_percentage_error(test, predicted),
+        rmse=root_mean_squared_error(test, predicted),
+        horizon_hours=int(test.size),
+    )
+
+
+def provisioning_level(series: HourlyTimeSeries | np.ndarray, percentile: float = 0.95) -> float:
+    """Capacity needed to serve the series at the given hourly percentile.
+
+    Operators provision links/caches for near-peak load; the difference
+    between a site's provisioning level and its mean is the cost of its
+    daily cycle — and adult sites' shifted peaks mean their provisioning
+    *complements* classic web traffic on shared infrastructure.
+    """
+    if not 0.0 < percentile <= 1.0:
+        raise AnalysisError(f"percentile must be in (0, 1], got {percentile}")
+    values = series.values if isinstance(series, HourlyTimeSeries) else np.asarray(series, dtype=float)
+    if values.size == 0:
+        raise AnalysisError("cannot compute a provisioning level for an empty series")
+    return float(np.quantile(values, percentile))

@@ -1,0 +1,179 @@
+"""User-dynamics analyses (paper Section IV-C; Figures 11-14).
+
+* :func:`interarrival_times`      — Fig. 11: per-user request IAT CDFs.
+* :func:`sessionize` / :func:`session_lengths` — Fig. 12: session length
+  CDFs under the 10-minute timeout.
+* :func:`repeated_access_scatter` — Fig. 13: requests vs unique users per
+  object (points above the diagonal = repeated access).
+* :func:`addiction_cdf`           — Fig. 14: CDF of requests-per-unique-user
+  per object; video content shows far heavier repetition than image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import TraceDataset
+from repro.errors import EmptyDatasetError
+from repro.stats.ecdf import EmpiricalCDF
+from repro.types import ContentCategory
+from repro.workload.sessions import SESSION_TIMEOUT_SECONDS
+
+
+@dataclass
+class IatResult:
+    """Fig. 11: per-site request inter-arrival time CDFs (seconds)."""
+
+    cdfs: dict[str, EmpiricalCDF]
+
+    def median_seconds(self, site: str) -> float:
+        return self.cdfs[site].median
+
+
+def interarrival_times(dataset: TraceDataset, max_samples_per_site: int | None = None) -> IatResult:
+    """Fig. 11: gaps between consecutive requests of the same user.
+
+    All of a user's requests count (across sessions), exactly as a
+    network-side log sees them.
+    """
+    gaps_by_site: dict[str, list[float]] = {}
+    for user_id in dataset.users_of():
+        times = dataset.user_timestamps(user_id)
+        if len(times) < 2:
+            continue
+        site = dataset._user_site[user_id]
+        diffs = np.diff(np.asarray(times))
+        gaps_by_site.setdefault(site, []).extend(float(d) for d in diffs if d > 0)
+    cdfs = {}
+    for site, gaps in gaps_by_site.items():
+        if max_samples_per_site is not None and len(gaps) > max_samples_per_site:
+            gaps = gaps[:max_samples_per_site]
+        if gaps:
+            cdfs[site] = EmpiricalCDF(gaps)
+    if not cdfs:
+        raise EmptyDatasetError("interarrival_times: no user has two or more requests")
+    return IatResult(cdfs=cdfs)
+
+
+def sessionize(timestamps: list[float], timeout: float = SESSION_TIMEOUT_SECONDS) -> list[list[float]]:
+    """Split one user's ascending timestamps into sessions.
+
+    A session is a maximal run of consecutive requests with gaps strictly
+    below ``timeout`` (paper Section IV-C: 10 minutes, chosen from the IAT
+    knee).  The returned sessions partition the input.
+    """
+    if not timestamps:
+        return []
+    sessions: list[list[float]] = [[timestamps[0]]]
+    for previous, current in zip(timestamps, timestamps[1:]):
+        if current - previous < timeout:
+            sessions[-1].append(current)
+        else:
+            sessions.append([current])
+    return sessions
+
+
+@dataclass
+class SessionResult:
+    """Fig. 12: per-site session length CDFs (seconds)."""
+
+    cdfs: dict[str, EmpiricalCDF]
+    counts: dict[str, int]
+
+    def median_seconds(self, site: str) -> float:
+        return self.cdfs[site].median
+
+    def mean_seconds(self, site: str) -> float:
+        return self.cdfs[site].mean
+
+
+def session_lengths(
+    dataset: TraceDataset,
+    timeout: float = SESSION_TIMEOUT_SECONDS,
+    min_length_s: float = 1.0,
+) -> SessionResult:
+    """Fig. 12: session lengths (first request to last, floored at 1 s).
+
+    The floor matches the paper's plot, whose axis starts at one second —
+    single-request sessions have no measurable duration from network logs
+    but still count as (minimal) engagement.
+    """
+    lengths_by_site: dict[str, list[float]] = {}
+    counts: dict[str, int] = {}
+    for user_id in dataset.users_of():
+        times = dataset.user_timestamps(user_id)
+        site = dataset._user_site[user_id]
+        for session in sessionize(times, timeout):
+            length = max(session[-1] - session[0], min_length_s)
+            lengths_by_site.setdefault(site, []).append(length)
+            counts[site] = counts.get(site, 0) + 1
+    cdfs = {site: EmpiricalCDF(lengths) for site, lengths in lengths_by_site.items() if lengths}
+    if not cdfs:
+        raise EmptyDatasetError("session_lengths: trace has no user requests")
+    return SessionResult(cdfs=cdfs, counts=counts)
+
+
+@dataclass
+class RepeatedAccessResult:
+    """Fig. 13: (unique_users, requests) scatter for one site+category."""
+
+    site: str
+    category: ContentCategory
+    unique_users: np.ndarray
+    requests: np.ndarray
+
+    def max_amplification(self) -> float:
+        """Largest requests/users ratio — Fig. 13's most extreme point."""
+        ratios = self.requests / np.maximum(self.unique_users, 1)
+        return float(ratios.max()) if ratios.size else 0.0
+
+    def fraction_above_diagonal(self) -> float:
+        """Share of objects with more requests than unique users."""
+        if self.requests.size == 0:
+            return 0.0
+        return float(np.mean(self.requests > self.unique_users))
+
+
+def repeated_access_scatter(
+    dataset: TraceDataset,
+    site: str,
+    category: ContentCategory,
+) -> RepeatedAccessResult:
+    """Fig. 13: per-object total requests vs unique requesting users."""
+    objects = dataset.objects_of(site, category)
+    users = np.array([stats.unique_users for stats in objects], dtype=float)
+    requests = np.array([stats.requests for stats in objects], dtype=float)
+    return RepeatedAccessResult(site=site, category=category, unique_users=users, requests=requests)
+
+
+@dataclass
+class AddictionResult:
+    """Fig. 14: per-site CDFs of requests per unique user per object."""
+
+    category: ContentCategory
+    cdfs: dict[str, EmpiricalCDF]
+
+    def fraction_above(self, site: str, requests_per_user: float) -> float:
+        """Fraction of objects some user requested more than this often.
+
+        The paper's headline: at least 10% of video objects have more than
+        10 requests per unique user, while under 1% of image objects do.
+        """
+        return self.cdfs[site].fraction_above(requests_per_user)
+
+
+def addiction_cdf(dataset: TraceDataset, category: ContentCategory) -> AddictionResult:
+    """Fig. 14: per-object distribution of single-user request intensity.
+
+    For each object the metric is the *largest* request count any single
+    user gave it — an object "requested more than 10 times by a user" is
+    one whose most devoted fan exceeded 10 requests.
+    """
+    cdfs: dict[str, EmpiricalCDF] = {}
+    for site in dataset.sites:
+        ratios = [stats.max_requests_by_one_user for stats in dataset.objects_of(site, category)]
+        if ratios:
+            cdfs[site] = EmpiricalCDF(ratios)
+    return AddictionResult(category=category, cdfs=cdfs)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch one type to handle all library failures.  Subclasses are
+organised by subsystem (trace handling, workload generation, CDN simulation,
+analysis) so callers can be more selective when they need to be.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object or parameter set is invalid."""
+
+
+class TraceError(ReproError):
+    """Base class for trace (HTTP log) related errors."""
+
+
+class TraceFormatError(TraceError):
+    """A serialised trace record or file could not be parsed."""
+
+
+class TraceSchemaError(TraceError):
+    """A record is missing fields or holds values outside the schema."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation failed or was configured inconsistently."""
+
+
+class CatalogError(WorkloadError):
+    """A content catalog is empty, inconsistent, or malformed."""
+
+
+class CdnError(ReproError):
+    """Base class for CDN simulator errors."""
+
+
+class CachePolicyError(CdnError):
+    """A cache policy was misconfigured (e.g. non-positive capacity)."""
+
+
+class RoutingError(CdnError):
+    """No data center could serve a request."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to run on data it cannot process."""
+
+
+class EmptyDatasetError(AnalysisError):
+    """An analysis requires at least one record/series but received none."""

@@ -1,0 +1,98 @@
+"""End-to-end pipeline: generate → simulate → analyze in one call.
+
+Convenience layer used by the examples, benchmarks and integration tests:
+it wires the workload generator, the CDN simulator and the analysis core
+together with a single seed and scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cdn.simulator import CdnSimulator, SimulationConfig
+from repro.core.dataset import TraceDataset
+from repro.core.report import Study, StudyReport
+from repro.trace.record import LogRecord
+from repro.trace.writer import write_trace
+from repro.workload.catalog import ContentCatalog
+from repro.workload.generator import SiteWorkload, WorkloadGenerator
+from repro.workload.profiles import ALL_PROFILES, SiteProfile
+from repro.workload.scale import ScaleConfig
+
+
+@dataclass
+class PipelineResult:
+    """Everything a full pipeline run produces."""
+
+    workloads: dict[str, SiteWorkload]
+    records: list[LogRecord]
+    dataset: TraceDataset
+    simulator: CdnSimulator
+
+    @property
+    def catalogs(self) -> dict[str, ContentCatalog]:
+        return {name: workload.catalog for name, workload in self.workloads.items()}
+
+
+#: Default per-data-center edge cache size relative to the total catalog.
+#: Large enough for popular content, small enough that the long tail churns
+#: — the regime in which the paper's 80-90% aggregate hit ratios and the
+#: popularity/hit-ratio correlation both appear.
+DEFAULT_CACHE_CATALOG_FRACTION = 0.5
+
+
+def run_pipeline(
+    seed: int = 0,
+    scale: ScaleConfig | None = None,
+    profiles: tuple[SiteProfile, ...] | None = None,
+    sim_config: SimulationConfig | None = None,
+) -> PipelineResult:
+    """Generate a synthetic week of adult-CDN traffic and index it.
+
+    Returns the workloads (catalogs/populations/requests), the simulated
+    log records, and a ready-to-analyse :class:`TraceDataset`.  Unless a
+    ``sim_config`` pins a capacity, each data center's edge cache is sized
+    to a fraction of the generated catalog and pre-warmed with popular
+    pre-existing objects (a real CDN is never cold when a measurement week
+    starts).
+    """
+    profiles = profiles if profiles is not None else ALL_PROFILES()
+    scale = scale or ScaleConfig.small()
+    generator = WorkloadGenerator(profiles=profiles, scale=scale, seed=seed)
+    workloads = generator.generate_all()
+
+    if sim_config is None:
+        catalog_bytes = sum(w.catalog.total_bytes() for w in workloads.values())
+        capacity = max(200_000_000, int(DEFAULT_CACHE_CATALOG_FRACTION * catalog_bytes))
+        sim_config = SimulationConfig(seed=seed + 1, cache_capacity_bytes=capacity)
+    simulator = CdnSimulator(profiles=profiles, config=sim_config)
+    if sim_config.warm_caches:
+        simulator.warm(w.catalog for w in workloads.values())
+    records = list(simulator.run(generator.merged_requests(workloads)))
+    dataset = TraceDataset.from_records(records)
+    return PipelineResult(workloads=workloads, records=records, dataset=dataset, simulator=simulator)
+
+
+def run_study(
+    seed: int = 0,
+    scale: ScaleConfig | None = None,
+    profiles: tuple[SiteProfile, ...] | None = None,
+    sim_config: SimulationConfig | None = None,
+    study: Study | None = None,
+) -> tuple[PipelineResult, StudyReport]:
+    """Full pipeline plus the complete figure battery."""
+    result = run_pipeline(seed=seed, scale=scale, profiles=profiles, sim_config=sim_config)
+    report = (study or Study()).run(result.dataset, catalogs=result.catalogs)
+    return result, report
+
+
+def generate_trace_file(
+    path: str | Path,
+    seed: int = 0,
+    scale: ScaleConfig | None = None,
+    profiles: tuple[SiteProfile, ...] | None = None,
+) -> int:
+    """Generate a trace and write it to ``path``; returns records written."""
+    result = run_pipeline(seed=seed, scale=scale, profiles=profiles)
+    return write_trace(result.records, path)

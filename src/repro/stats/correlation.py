@@ -1,0 +1,60 @@
+"""Pearson and Spearman correlation coefficients (numpy-backed).
+
+The paper reports a >0.9 correlation between object popularity and cache
+hit ratio (Section V).  Popularity and hit ratio are both heavy-tailed, so
+the analysis layer prefers Spearman rank correlation but exposes Pearson
+too for direct comparison with the paper's wording.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+
+def _as_pair(xs: Iterable[float], ys: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(list(xs) if not isinstance(xs, np.ndarray) else xs, dtype=float)
+    y = np.asarray(list(ys) if not isinstance(ys, np.ndarray) else ys, dtype=float)
+    if x.size != y.size:
+        raise ValueError(f"correlation inputs must have equal length ({x.size} vs {y.size})")
+    if x.size < 2:
+        raise ValueError("correlation needs at least two observations")
+    return x, y
+
+
+def pearson(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Pearson product-moment correlation of two equal-length samples.
+
+    Returns 0.0 when either sample is constant (the correlation is then
+    undefined; 0 is the conventional neutral value for reporting).
+    """
+    x, y = _as_pair(xs, ys)
+    x_centered = x - x.mean()
+    y_centered = y - y.mean()
+    denom = float(np.sqrt((x_centered**2).sum() * (y_centered**2).sum()))
+    if denom == 0.0:
+        return 0.0
+    return float((x_centered * y_centered).sum() / denom)
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_values = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        ranks[order[i : j + 1]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Spearman rank correlation (Pearson over average ranks)."""
+    x, y = _as_pair(xs, ys)
+    return pearson(_ranks(x), _ranks(y))

@@ -1,0 +1,136 @@
+"""Empirical cumulative distribution functions.
+
+Most of the paper's figures are CDFs (content sizes, popularity,
+inter-arrival times, session lengths, hit ratios).  :class:`EmpiricalCDF`
+is the one implementation behind all of them: it stores the sorted sample,
+evaluates ``P(X <= x)``, answers quantile queries, and renders the
+``(x, F(x))`` series a plotting or reporting layer needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import EmptyDatasetError
+
+
+class EmpiricalCDF:
+    """Empirical CDF of a one-dimensional sample.
+
+    Parameters
+    ----------
+    sample:
+        Any iterable of real values.  Must be non-empty.
+
+    Examples
+    --------
+    >>> cdf = EmpiricalCDF([1.0, 2.0, 2.0, 10.0])
+    >>> cdf.evaluate(2.0)
+    0.75
+    >>> cdf.quantile(0.5)
+    2.0
+    """
+
+    __slots__ = ("_sorted",)
+
+    def __init__(self, sample: Iterable[float]):
+        values = np.asarray(list(sample) if not isinstance(sample, (np.ndarray, Sequence)) else sample, dtype=float)
+        if values.size == 0:
+            raise EmptyDatasetError("EmpiricalCDF requires a non-empty sample")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("EmpiricalCDF sample must be finite")
+        self._sorted = np.sort(values)
+
+    def __len__(self) -> int:
+        return int(self._sorted.size)
+
+    @property
+    def sample(self) -> np.ndarray:
+        """The sorted underlying sample (read-only view)."""
+        view = self._sorted.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def min(self) -> float:
+        return float(self._sorted[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._sorted[-1])
+
+    @property
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def evaluate(self, x: float) -> float:
+        """Return ``P(X <= x)`` under the empirical distribution."""
+        return float(np.searchsorted(self._sorted, x, side="right")) / len(self)
+
+    def evaluate_many(self, xs: Iterable[float]) -> np.ndarray:
+        """Vectorised :meth:`evaluate`."""
+        xs_arr = np.asarray(list(xs), dtype=float)
+        return np.searchsorted(self._sorted, xs_arr, side="right") / len(self)
+
+    def quantile(self, q: float) -> float:
+        """Return the ``q``-quantile (0 <= q <= 1) of the sample.
+
+        Uses the inverse of the right-continuous empirical CDF: the smallest
+        sample value ``x`` with ``F(x) >= q``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.min
+        index = int(np.ceil(q * len(self))) - 1
+        return float(self._sorted[index])
+
+    def fraction_above(self, x: float) -> float:
+        """Return ``P(X > x)`` — convenient for tail statements.
+
+        The paper frequently reports tails, e.g. "at least 10% of video
+        objects have more than 10 requests per unique user" is
+        ``cdf.fraction_above(10) >= 0.10``.
+        """
+        return 1.0 - self.evaluate(x)
+
+    def series(self, max_points: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, F(x))`` arrays suitable for plotting a CDF curve.
+
+        When ``max_points`` is given and the sample is larger, the curve is
+        subsampled evenly (keeping the first and last points) so reports stay
+        small.
+        """
+        xs = self._sorted
+        ys = np.arange(1, len(self) + 1, dtype=float) / len(self)
+        if max_points is not None and len(self) > max_points:
+            idx = np.unique(np.linspace(0, len(self) - 1, max_points).round().astype(int))
+            xs, ys = xs[idx], ys[idx]
+        return xs.copy(), ys
+
+    def is_bimodal(self, split: float) -> bool:
+        """Heuristic bimodality check around a ``split`` point.
+
+        Returns True when at least 15% of mass lies on each side of
+        ``split`` and the two sides' medians differ by more than 4x.  Used to
+        verify the paper's bi-modal image-size observation (Fig. 5b).
+        """
+        below = self._sorted[self._sorted <= split]
+        above = self._sorted[self._sorted > split]
+        if below.size < 0.15 * len(self) or above.size < 0.15 * len(self):
+            return False
+        lo = float(np.median(below))
+        hi = float(np.median(above))
+        return lo > 0 and hi / lo > 4.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EmpiricalCDF(n={len(self)}, min={self.min:.4g}, "
+            f"median={self.median:.4g}, max={self.max:.4g})"
+        )

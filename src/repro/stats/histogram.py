@@ -1,0 +1,133 @@
+"""Fixed-bin histograms (linear and logarithmic).
+
+The paper's bar figures (content composition, response codes) are simple
+counters, but its size/popularity figures span many orders of magnitude; a
+log-spaced histogram summarises those streams without storing every sample.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class LinearHistogram:
+    """Histogram with equal-width bins over ``[low, high)``.
+
+    Values below ``low`` land in an underflow counter and values at or above
+    ``high`` in an overflow counter, so no observation is ever dropped.
+    """
+
+    def __init__(self, low: float, high: float, bins: int):
+        if not low < high:
+            raise ConfigError(f"histogram range must satisfy low < high, got [{low}, {high})")
+        if bins <= 0:
+            raise ConfigError(f"histogram needs at least one bin, got {bins}")
+        self.low = float(low)
+        self.high = float(high)
+        self.bins = int(bins)
+        self._width = (self.high - self.low) / self.bins
+        self.counts = np.zeros(self.bins, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value``."""
+        if value < self.low:
+            self.underflow += count
+            return
+        if value >= self.high:
+            self.overflow += count
+            return
+        index = int((value - self.low) / self._width)
+        # Guard against float round-off putting value == high - epsilon in bin `bins`.
+        index = min(index, self.bins - 1)
+        self.counts[index] += count
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def total(self) -> int:
+        """All observations, including under/overflow."""
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+    def bin_edges(self) -> np.ndarray:
+        return np.linspace(self.low, self.high, self.bins + 1)
+
+    def normalized(self) -> np.ndarray:
+        """Bin counts as fractions of the total (zeros when empty)."""
+        total = self.total
+        if total == 0:
+            return np.zeros(self.bins)
+        return self.counts / total
+
+
+class LogHistogram:
+    """Histogram with logarithmically spaced bins over ``[low, high)``.
+
+    Suited to heavy-tailed quantities such as object sizes (bytes to hundreds
+    of megabytes) and request counts per object.
+    """
+
+    def __init__(self, low: float, high: float, bins_per_decade: int = 10):
+        if not 0 < low < high:
+            raise ConfigError(f"log histogram needs 0 < low < high, got [{low}, {high})")
+        if bins_per_decade <= 0:
+            raise ConfigError("bins_per_decade must be positive")
+        self.low = float(low)
+        self.high = float(high)
+        self.bins_per_decade = int(bins_per_decade)
+        self._log_low = math.log10(self.low)
+        decades = math.log10(self.high) - self._log_low
+        self.bins = max(1, int(math.ceil(decades * self.bins_per_decade)))
+        self.counts = np.zeros(self.bins, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value`` (must be > 0 to bin)."""
+        if value < self.low:
+            self.underflow += count
+            return
+        if value >= self.high:
+            self.overflow += count
+            return
+        index = int((math.log10(value) - self._log_low) * self.bins_per_decade)
+        index = min(max(index, 0), self.bins - 1)
+        self.counts[index] += count
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+    def bin_edges(self) -> np.ndarray:
+        exponents = self._log_low + np.arange(self.bins + 1) / self.bins_per_decade
+        return np.power(10.0, exponents)
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from binned data (geometric bin midpoint)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        total = self.total
+        if total == 0:
+            raise ValueError("cannot take a quantile of an empty histogram")
+        target = q * total
+        running = self.underflow
+        if running >= target:
+            return self.low
+        edges = self.bin_edges()
+        for i, count in enumerate(self.counts):
+            running += int(count)
+            if running >= target:
+                return float(math.sqrt(edges[i] * edges[i + 1]))
+        return self.high

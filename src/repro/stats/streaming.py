@@ -1,0 +1,221 @@
+"""Single-pass streaming statistics.
+
+Large traces should be analysable without materialising every record in
+memory.  :class:`StreamingMoments` (Welford's algorithm) and
+:class:`SpaceSavingTopK` (Metwally et al.'s space-saving heavy hitters)
+give the aggregate analyses O(1)/O(k) memory per stream.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+
+class StreamingMoments:
+    """Running count / mean / variance / min / max via Welford's algorithm."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Combine two streams' moments (Chan et al. parallel variance)."""
+        merged = StreamingMoments()
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._mean = self._mean + delta * other.count / merged.count
+        merged._m2 = self._m2 + other._m2 + delta**2 * self.count * other.count / merged.count
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+
+@dataclass
+class _Counter:
+    count: int
+    error: int
+
+
+class P2Quantile:
+    """Streaming quantile estimation via the P² algorithm (Jain & Chlamtac).
+
+    Tracks one quantile of a stream with five markers and O(1) updates —
+    no samples are stored.  The analysis layer uses it to summarise
+    per-request quantities (inter-arrival times, object sizes) on traces
+    too large to materialise.
+    """
+
+    def __init__(self, quantile: float):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        self.quantile = quantile
+        self._initial: list[float] = []
+        # Marker heights, positions, and desired positions.
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments: list[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                q = self.quantile
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+                self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+            return
+
+        heights, positions = self._heights, self._positions
+        # Locate the cell containing the observation; adjust extremes.
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            while k < 3 and value >= heights[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # Adjust interior markers with parabolic (fallback linear) moves.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                direction = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, direction)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, direction)
+                positions[i] += direction
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _parabolic(self, i: int, direction: float) -> float:
+        h, p = self._heights, self._positions
+        return h[i] + direction / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + direction) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - direction) * (h[i] - h[i - 1]) / (p[i] - p[i - 1])
+        )
+
+    def _linear(self, i: int, direction: float) -> float:
+        h, p = self._heights, self._positions
+        j = i + int(direction)
+        return h[i] + direction * (h[j] - h[i]) / (p[j] - p[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (exact while under five samples)."""
+        if self.count == 0:
+            raise ValueError("no observations yet")
+        if len(self._initial) < 5:
+            ordered = sorted(self._initial)
+            index = min(len(ordered) - 1, max(0, int(math.ceil(self.quantile * len(ordered))) - 1))
+            return ordered[index]
+        return self._heights[2]
+
+
+class SpaceSavingTopK:
+    """Approximate top-k heavy hitters over a key stream.
+
+    Maintains at most ``capacity`` counters; when a new key arrives with the
+    table full, the minimum counter is evicted and its count inherited as
+    the newcomer's error bound.  Guarantees every key with true frequency
+    above ``N / capacity`` is present.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"top-k capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._counters: dict[Hashable, _Counter] = {}
+        self.total = 0
+
+    def add(self, key: Hashable, count: int = 1) -> None:
+        self.total += count
+        counter = self._counters.get(key)
+        if counter is not None:
+            counter.count += count
+            return
+        if len(self._counters) < self.capacity:
+            self._counters[key] = _Counter(count=count, error=0)
+            return
+        victim_key = min(self._counters, key=lambda k: self._counters[k].count)
+        victim = self._counters.pop(victim_key)
+        self._counters[key] = _Counter(count=victim.count + count, error=victim.count)
+
+    def extend(self, keys: Iterable[Hashable]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def top(self, k: int | None = None) -> list[tuple[Hashable, int]]:
+        """The ``k`` heaviest keys as ``(key, estimated_count)`` pairs."""
+        ranked = sorted(self._counters.items(), key=lambda item: item[1].count, reverse=True)
+        if k is not None:
+            ranked = ranked[:k]
+        return [(key, counter.count) for key, counter in ranked]
+
+    def guaranteed_count(self, key: Hashable) -> int:
+        """Lower bound on the true count of ``key`` (0 if untracked)."""
+        counter = self._counters.get(key)
+        if counter is None:
+            return 0
+        return counter.count - counter.error
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)

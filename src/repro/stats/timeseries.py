@@ -1,0 +1,161 @@
+"""Hourly time series over the one-week trace window.
+
+Figure 3 (hourly traffic volume), Figure 7 (content aging) and the DTW
+clustering figures (8-10) all operate on fixed-grid hourly series.
+:class:`HourlyTimeSeries` is the shared representation: a dense vector of
+per-hour values aligned to the trace start, with helpers for binning raw
+timestamps, normalising, folding onto a 24-hour day, and local-time shifts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.types import HOUR_SECONDS, WEEK_SECONDS
+
+
+class HourlyTimeSeries:
+    """A dense per-hour series aligned to a trace that starts at t=0.
+
+    Parameters
+    ----------
+    hours:
+        Number of hourly bins (default: one week = 168).
+    values:
+        Optional initial values (length must equal ``hours``).
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, hours: int = WEEK_SECONDS // HOUR_SECONDS, values: Iterable[float] | None = None):
+        if hours <= 0:
+            raise ConfigError(f"time series needs at least one hour, got {hours}")
+        if values is None:
+            self.values = np.zeros(int(hours), dtype=float)
+        else:
+            arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+            if arr.size != hours:
+                raise ConfigError(f"expected {hours} values, got {arr.size}")
+            self.values = arr.copy()
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "HourlyTimeSeries":
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+        return cls(hours=arr.size, values=arr)
+
+    @classmethod
+    def from_timestamps(
+        cls,
+        timestamps: Iterable[float],
+        hours: int = WEEK_SECONDS // HOUR_SECONDS,
+        weights: Iterable[float] | None = None,
+    ) -> "HourlyTimeSeries":
+        """Bin raw trace timestamps (seconds since trace start) hourly.
+
+        ``weights`` lets callers accumulate bytes instead of request counts.
+        Timestamps outside ``[0, hours*3600)`` are clipped into the edge bins
+        so a trailing record at exactly the week boundary is not lost.
+        """
+        series = cls(hours=hours)
+        ts = np.asarray(list(timestamps) if not isinstance(timestamps, np.ndarray) else timestamps, dtype=float)
+        if ts.size == 0:
+            return series
+        bins = np.clip((ts // HOUR_SECONDS).astype(int), 0, hours - 1)
+        if weights is None:
+            np.add.at(series.values, bins, 1.0)
+        else:
+            w = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights, dtype=float)
+            if w.size != ts.size:
+                raise ConfigError("weights must match timestamps in length")
+            np.add.at(series.values, bins, w)
+        return series
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def hours(self) -> int:
+        return len(self)
+
+    @property
+    def total(self) -> float:
+        return float(self.values.sum())
+
+    def add(self, timestamp: float, weight: float = 1.0) -> None:
+        """Accumulate one observation at ``timestamp`` seconds."""
+        index = int(timestamp // HOUR_SECONDS)
+        index = min(max(index, 0), self.hours - 1)
+        self.values[index] += weight
+
+    def normalized(self) -> "HourlyTimeSeries":
+        """Series scaled to sum to 1 (unchanged copy when all-zero).
+
+        This is the normalisation the paper applies before DTW clustering
+        and in the Fig. 3 percentage-of-volume plot.
+        """
+        total = self.total
+        if total == 0:
+            return HourlyTimeSeries(self.hours, self.values)
+        return HourlyTimeSeries(self.hours, self.values / total)
+
+    def shifted(self, offset_hours: int) -> "HourlyTimeSeries":
+        """Series circularly shifted by ``offset_hours`` (local-time view).
+
+        Positive offsets move content *later* on the clock (a UTC+k user's
+        local hour h corresponds to UTC hour h-k; shifting the UTC series
+        right by k re-indexes it to local hours).
+        """
+        return HourlyTimeSeries(self.hours, np.roll(self.values, offset_hours))
+
+    def fold_daily(self) -> np.ndarray:
+        """Average the series onto a 24-hour profile.
+
+        Trailing partial days are included with proportional weight.
+        Returns a length-24 array (Fig. 3's hour-of-day axis).
+        """
+        profile = np.zeros(24)
+        counts = np.zeros(24)
+        for hour_index, value in enumerate(self.values):
+            hour_of_day = hour_index % 24
+            profile[hour_of_day] += value
+            counts[hour_of_day] += 1
+        counts[counts == 0] = 1
+        return profile / counts
+
+    def daily_totals(self) -> np.ndarray:
+        """Sum per trace day (length ``ceil(hours/24)``)."""
+        days = (self.hours + 23) // 24
+        totals = np.zeros(days)
+        for hour_index, value in enumerate(self.values):
+            totals[hour_index // 24] += value
+        return totals
+
+    def peak_hour_of_day(self) -> int:
+        """Hour of day (0-23) with the highest average volume."""
+        return int(np.argmax(self.fold_daily()))
+
+    def __add__(self, other: "HourlyTimeSeries") -> "HourlyTimeSeries":
+        if self.hours != other.hours:
+            raise ConfigError("cannot add series of different lengths")
+        return HourlyTimeSeries(self.hours, self.values + other.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HourlyTimeSeries(hours={self.hours}, total={self.total:.4g})"
+
+
+def diurnality_index(profile_24h: np.ndarray) -> float:
+    """Peak-to-mean ratio of a 24-hour profile; 1.0 means perfectly flat.
+
+    Used to compare how pronounced a site's daily cycle is (the paper notes
+    V-2/P-1/P-2/S-1 have "less pronounced variations than V-1").
+    """
+    profile = np.asarray(profile_24h, dtype=float)
+    if profile.size != 24:
+        raise ConfigError(f"expected a 24-hour profile, got length {profile.size}")
+    mean = profile.mean()
+    if mean == 0:
+        return 1.0
+    return float(profile.max() / mean)

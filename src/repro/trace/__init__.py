@@ -1,0 +1,39 @@
+"""Trace substrate: the HTTP access-log record model and its I/O.
+
+The paper's dataset (Section III) is a week of CDN HTTP logs where each
+record carries a publisher identifier, hashed URL, object file type, object
+size, user agent, request timestamp, plus the response's cache status and
+HTTP status code.  This subpackage defines that record
+(:class:`~repro.trace.record.LogRecord`), user-agent synthesis/parsing,
+privacy-preserving anonymisation, and streaming readers/writers for CSV,
+JSON-lines and a compact binary format.
+"""
+
+from repro.trace.anonymize import Anonymizer
+from repro.trace.reader import TraceReader, read_trace
+from repro.trace.record import LogRecord
+from repro.trace.tools import (
+    TraceSummary,
+    merge_traces,
+    split_trace_by_day,
+    split_trace_by_site,
+    summarize_trace,
+)
+from repro.trace.useragent import parse_user_agent, synthesize_user_agent
+from repro.trace.writer import TraceWriter, write_trace
+
+__all__ = [
+    "Anonymizer",
+    "LogRecord",
+    "TraceReader",
+    "TraceSummary",
+    "TraceWriter",
+    "merge_traces",
+    "parse_user_agent",
+    "read_trace",
+    "split_trace_by_day",
+    "split_trace_by_site",
+    "summarize_trace",
+    "synthesize_user_agent",
+    "write_trace",
+]

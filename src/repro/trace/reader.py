@@ -1,0 +1,153 @@
+"""Streaming trace readers with optional record filters.
+
+Mirror image of :mod:`repro.trace.writer`: format is inferred from the
+suffix, records are yielded one at a time, and callers can restrict by
+site, category, or time window without loading the file.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import json
+import struct
+from collections.abc import Iterator
+from pathlib import Path
+from typing import IO
+
+from repro.errors import TraceFormatError
+from repro.trace import schema
+from repro.trace.record import LogRecord
+from repro.types import ContentCategory
+
+_FORMATS = ("csv", "jsonl", "bin")
+_BINARY_CHUNK = 1 << 20
+
+
+def _infer_format(path: Path) -> str:
+    suffixes = [s.lstrip(".") for s in path.suffixes]
+    for suffix in reversed(suffixes):
+        if suffix in _FORMATS:
+            return suffix
+    raise TraceFormatError(
+        f"cannot infer trace format from {path.name!r}; use one of {_FORMATS} as a suffix or pass fmt="
+    )
+
+
+def _open_binary(path: Path) -> IO[bytes]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "rb")  # type: ignore[return-value]
+    return open(path, "rb")
+
+
+class TraceReader:
+    """Iterate over the records in a trace file.
+
+    Parameters
+    ----------
+    path:
+        Trace file written by :class:`~repro.trace.writer.TraceWriter`.
+    fmt:
+        Force a format instead of inferring from the suffix.
+    sites / categories:
+        Optional allow-lists; records not matching are skipped.
+    start / end:
+        Optional half-open time window ``[start, end)`` in trace seconds.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fmt: str | None = None,
+        sites: set[str] | None = None,
+        categories: set[ContentCategory] | None = None,
+        start: float | None = None,
+        end: float | None = None,
+    ):
+        self.path = Path(path)
+        if not self.path.exists():
+            raise TraceFormatError(f"trace file does not exist: {self.path}")
+        self.fmt = fmt or _infer_format(self.path)
+        if self.fmt not in _FORMATS:
+            raise TraceFormatError(f"unknown trace format {self.fmt!r}; expected one of {_FORMATS}")
+        self.sites = sites
+        self.categories = categories
+        self.start = start
+        self.end = end
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        raw: Iterator[LogRecord]
+        if self.fmt == "csv":
+            raw = self._iter_csv()
+        elif self.fmt == "jsonl":
+            raw = self._iter_jsonl()
+        else:
+            raw = self._iter_binary()
+        for record in raw:
+            if self._matches(record):
+                yield record
+
+    def _matches(self, record: LogRecord) -> bool:
+        if self.sites is not None and record.site not in self.sites:
+            return False
+        if self.categories is not None and record.category not in self.categories:
+            return False
+        if self.start is not None and record.timestamp < self.start:
+            return False
+        if self.end is not None and record.timestamp >= self.end:
+            return False
+        return True
+
+    def _iter_csv(self) -> Iterator[LogRecord]:
+        with open(self.path, newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                return
+            if tuple(header) != schema.FIELD_NAMES:
+                raise TraceFormatError(f"unexpected CSV header in {self.path.name}: {header}")
+            for row in reader:
+                yield schema.row_to_record(row)
+
+    def _iter_jsonl(self) -> Iterator[LogRecord]:
+        with open(self.path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(f"{self.path.name}:{line_number}: invalid JSON") from exc
+                yield schema.dict_to_record(payload)
+
+    def _iter_binary(self) -> Iterator[LogRecord]:
+        with _open_binary(self.path) as handle:
+            magic = handle.read(len(schema.BINARY_MAGIC))
+            if magic != schema.BINARY_MAGIC:
+                raise TraceFormatError(f"{self.path.name}: not a repro binary trace (bad magic)")
+            (version,) = struct.unpack("<H", handle.read(2))
+            if version != schema.BINARY_VERSION:
+                raise TraceFormatError(f"{self.path.name}: unsupported binary trace version {version}")
+            buffer = b""
+            while True:
+                chunk = handle.read(_BINARY_CHUNK)
+                if not chunk:
+                    break
+                buffer += chunk
+                offset = 0
+                while True:
+                    try:
+                        record, next_offset = schema.unpack_record(buffer, offset)
+                    except TraceFormatError:
+                        break  # need more bytes
+                    yield record
+                    offset = next_offset
+                buffer = buffer[offset:]
+            if buffer:
+                raise TraceFormatError(f"{self.path.name}: {len(buffer)} trailing bytes (truncated record)")
+
+
+def read_trace(path: str | Path, **kwargs: object) -> list[LogRecord]:
+    """Load an entire trace into memory as a list (small traces only)."""
+    return list(TraceReader(path, **kwargs))  # type: ignore[arg-type]

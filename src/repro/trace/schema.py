@@ -1,0 +1,184 @@
+"""Serialisation schema shared by all trace formats.
+
+Defines the canonical field order, the CSV/JSONL field codecs, and the
+binary struct layout.  Readers and writers both import from here so the
+two sides cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import TraceFormatError
+from repro.trace.record import LogRecord
+from repro.types import CacheStatus
+
+#: Canonical column order for text formats.
+FIELD_NAMES = (
+    "timestamp",
+    "site",
+    "object_id",
+    "extension",
+    "object_size",
+    "user_id",
+    "user_agent",
+    "cache_status",
+    "status_code",
+    "bytes_served",
+    "datacenter",
+    "chunk_index",
+)
+
+#: Magic bytes + version prefix for the binary format.
+BINARY_MAGIC = b"RPRO"
+BINARY_VERSION = 1
+
+# Binary record: fixed-size header followed by length-prefixed strings.
+#   f64 timestamp, u64 object_size, u64 bytes_served,
+#   u16 status_code, i16 chunk_index, u8 cache_status (0=MISS, 1=HIT)
+_FIXED = struct.Struct("<dQQHhB")
+
+
+def record_to_row(record: LogRecord) -> list[str]:
+    """Serialise a record to a CSV row (field order = FIELD_NAMES)."""
+    return [
+        repr(record.timestamp),
+        record.site,
+        record.object_id,
+        record.extension,
+        str(record.object_size),
+        record.user_id,
+        record.user_agent,
+        record.cache_status.value,
+        str(record.status_code),
+        str(record.bytes_served),
+        record.datacenter,
+        str(record.chunk_index),
+    ]
+
+
+def row_to_record(row: list[str]) -> LogRecord:
+    """Parse a CSV row back into a record."""
+    if len(row) != len(FIELD_NAMES):
+        raise TraceFormatError(f"expected {len(FIELD_NAMES)} fields, got {len(row)}")
+    try:
+        return LogRecord(
+            timestamp=float(row[0]),
+            site=row[1],
+            object_id=row[2],
+            extension=row[3],
+            object_size=int(row[4]),
+            user_id=row[5],
+            user_agent=row[6],
+            cache_status=CacheStatus(row[7]),
+            status_code=int(row[8]),
+            bytes_served=int(row[9]),
+            datacenter=row[10],
+            chunk_index=int(row[11]),
+        )
+    except (ValueError, KeyError) as exc:
+        raise TraceFormatError(f"malformed trace row: {row!r}") from exc
+
+
+def record_to_dict(record: LogRecord) -> dict[str, Any]:
+    """Serialise a record to a JSON-compatible dict."""
+    return {
+        "timestamp": record.timestamp,
+        "site": record.site,
+        "object_id": record.object_id,
+        "extension": record.extension,
+        "object_size": record.object_size,
+        "user_id": record.user_id,
+        "user_agent": record.user_agent,
+        "cache_status": record.cache_status.value,
+        "status_code": record.status_code,
+        "bytes_served": record.bytes_served,
+        "datacenter": record.datacenter,
+        "chunk_index": record.chunk_index,
+    }
+
+
+def dict_to_record(payload: dict[str, Any]) -> LogRecord:
+    """Parse a JSON dict back into a record."""
+    try:
+        return LogRecord(
+            timestamp=float(payload["timestamp"]),
+            site=str(payload["site"]),
+            object_id=str(payload["object_id"]),
+            extension=str(payload["extension"]),
+            object_size=int(payload["object_size"]),
+            user_id=str(payload["user_id"]),
+            user_agent=str(payload["user_agent"]),
+            cache_status=CacheStatus(payload["cache_status"]),
+            status_code=int(payload["status_code"]),
+            bytes_served=int(payload["bytes_served"]),
+            datacenter=str(payload.get("datacenter", "dc-0")),
+            chunk_index=int(payload.get("chunk_index", -1)),
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise TraceFormatError(f"malformed trace object: {payload!r}") from exc
+
+
+def pack_record(record: LogRecord) -> bytes:
+    """Serialise a record into the compact binary format."""
+    fixed = _FIXED.pack(
+        record.timestamp,
+        record.object_size,
+        record.bytes_served,
+        record.status_code,
+        record.chunk_index,
+        1 if record.cache_status is CacheStatus.HIT else 0,
+    )
+    strings = (
+        record.site,
+        record.object_id,
+        record.extension,
+        record.user_id,
+        record.user_agent,
+        record.datacenter,
+    )
+    parts = [fixed]
+    for value in strings:
+        encoded = value.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise TraceFormatError(f"string field too long for binary format ({len(encoded)} bytes)")
+        parts.append(struct.pack("<H", len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def unpack_record(buffer: bytes, offset: int = 0) -> tuple[LogRecord, int]:
+    """Parse one binary record starting at ``offset``.
+
+    Returns the record and the offset just past it.
+    """
+    try:
+        timestamp, object_size, bytes_served, status_code, chunk_index, hit_flag = _FIXED.unpack_from(buffer, offset)
+        cursor = offset + _FIXED.size
+        strings = []
+        for _ in range(6):
+            (length,) = struct.unpack_from("<H", buffer, cursor)
+            cursor += 2
+            if cursor + length > len(buffer):
+                raise TraceFormatError(f"truncated string field at offset {cursor}")
+            strings.append(buffer[cursor : cursor + length].decode("utf-8"))
+            cursor += length
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise TraceFormatError(f"truncated or corrupt binary record at offset {offset}") from exc
+    site, object_id, extension, user_id, user_agent, datacenter = strings
+    record = LogRecord(
+        timestamp=timestamp,
+        site=site,
+        object_id=object_id,
+        extension=extension,
+        object_size=object_size,
+        user_id=user_id,
+        user_agent=user_agent,
+        cache_status=CacheStatus.HIT if hit_flag else CacheStatus.MISS,
+        status_code=status_code,
+        bytes_served=bytes_served,
+        datacenter=datacenter,
+        chunk_index=chunk_index,
+    )
+    return record, cursor

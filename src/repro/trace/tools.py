@@ -1,0 +1,132 @@
+"""Trace-file manipulation tools: merge, split, and summarise.
+
+Real log pipelines rarely deal with one tidy file: collection produces
+per-data-center or per-day shards that must be merged in time order, and
+analyses often want per-site or per-day extracts.  These helpers operate
+on any format :mod:`repro.trace` reads and keep everything streaming.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import TraceError
+from repro.trace.reader import TraceReader
+from repro.trace.record import LogRecord
+from repro.trace.writer import TraceWriter
+from repro.types import DAY_SECONDS
+
+
+def merge_traces(inputs: list[str | Path], output: str | Path) -> int:
+    """Merge trace files into one, ordered by timestamp.
+
+    Inputs must each be internally time-ordered (as written by the
+    pipeline); the merge is a streaming k-way heap merge, so arbitrarily
+    large shards are fine.  Returns the number of records written.
+    """
+    if not inputs:
+        raise TraceError("merge_traces needs at least one input file")
+    readers = [iter(TraceReader(path)) for path in inputs]
+    merged: Iterator[LogRecord] = heapq.merge(*readers, key=lambda r: r.timestamp)
+    with TraceWriter(output) as writer:
+        return writer.write_all(merged)
+
+
+def split_trace_by_site(input_path: str | Path, output_dir: str | Path, fmt: str = "csv") -> dict[str, Path]:
+    """Split one trace into one file per site; returns site → path."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    writers: dict[str, TraceWriter] = {}
+    try:
+        for record in TraceReader(input_path):
+            writer = writers.get(record.site)
+            if writer is None:
+                safe = record.site.replace("/", "_")
+                writer = TraceWriter(directory / f"{safe}.{fmt}")
+                writer.open()
+                writers[record.site] = writer
+            writer.write(record)
+    finally:
+        for writer in writers.values():
+            writer.close()
+    return {site: writer.path for site, writer in writers.items()}
+
+
+def split_trace_by_day(input_path: str | Path, output_dir: str | Path, fmt: str = "csv") -> dict[int, Path]:
+    """Split one trace into one file per trace day; returns day → path."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    writers: dict[int, TraceWriter] = {}
+    try:
+        for record in TraceReader(input_path):
+            day = int(record.timestamp // DAY_SECONDS)
+            writer = writers.get(day)
+            if writer is None:
+                writer = TraceWriter(directory / f"day{day}.{fmt}")
+                writer.open()
+                writers[day] = writer
+            writer.write(record)
+    finally:
+        for writer in writers.values():
+            writer.close()
+    return {day: writer.path for day, writer in writers.items()}
+
+
+@dataclass
+class TraceSummary:
+    """Single-pass summary of a trace file (streaming, O(sites) memory)."""
+
+    records: int = 0
+    first_timestamp: float = float("inf")
+    last_timestamp: float = float("-inf")
+    bytes_served: int = 0
+    site_records: Counter = field(default_factory=Counter)
+    status_codes: Counter = field(default_factory=Counter)
+    hits: int = 0
+
+    @property
+    def duration_days(self) -> float:
+        if self.records == 0:
+            return 0.0
+        return (self.last_timestamp - self.first_timestamp) / DAY_SECONDS
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.records == 0:
+            return 0.0
+        return self.hits / self.records
+
+    def render(self) -> str:
+        lines = [
+            f"records:        {self.records:,}",
+            f"window:         {self.first_timestamp:.0f}s .. {self.last_timestamp:.0f}s "
+            f"({self.duration_days:.1f} days)",
+            f"bytes served:   {self.bytes_served / 1e9:.2f} GB",
+            f"hit ratio:      {self.hit_ratio:.1%}",
+            "per-site records:",
+        ]
+        for site, count in sorted(self.site_records.items()):
+            lines.append(f"  {site:8} {count:>10,}")
+        lines.append("status codes:")
+        for code, count in sorted(self.status_codes.items()):
+            lines.append(f"  {code:8} {count:>10,}")
+        return "\n".join(lines)
+
+
+def summarize_trace(input_path: str | Path) -> TraceSummary:
+    """Stream over a trace once and collect the headline numbers."""
+    summary = TraceSummary()
+    for record in TraceReader(input_path):
+        summary.records += 1
+        summary.first_timestamp = min(summary.first_timestamp, record.timestamp)
+        summary.last_timestamp = max(summary.last_timestamp, record.timestamp)
+        summary.bytes_served += record.bytes_served
+        summary.site_records[record.site] += 1
+        summary.status_codes[record.status_code] += 1
+        if record.is_hit:
+            summary.hits += 1
+    return summary

@@ -1,0 +1,120 @@
+"""User-Agent synthesis and parsing.
+
+The paper uses the User-Agent header "to distinguish between different
+device types, operating systems, and web browsers" (Section III, citing
+RFC 2616).  The workload generator synthesises realistic UA strings per
+device class, and the analysis side parses any UA string back into a
+:class:`~repro.types.DeviceType` plus OS/browser labels — so the pipeline
+never relies on hidden side-channel information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.sampling import make_rng
+from repro.types import DeviceType
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedUserAgent:
+    """Result of :func:`parse_user_agent`."""
+
+    device: DeviceType
+    os: str
+    browser: str
+
+
+_DESKTOP_TEMPLATES = (
+    ("Windows", "Chrome", "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{v}.0 Safari/537.36"),
+    ("Windows", "Firefox", "Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:{v}.0) Gecko/20100101 Firefox/{v}.0"),
+    ("macOS", "Safari", "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/{v}.0 Safari/605.1.15"),
+    ("macOS", "Chrome", "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{v}.0 Safari/537.36"),
+    ("Linux", "Firefox", "Mozilla/5.0 (X11; Linux x86_64; rv:{v}.0) Gecko/20100101 Firefox/{v}.0"),
+)
+
+_ANDROID_TEMPLATES = (
+    ("Android", "Chrome Mobile", "Mozilla/5.0 (Linux; Android 11; SM-G991B) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{v}.0 Mobile Safari/537.36"),
+    ("Android", "Firefox Mobile", "Mozilla/5.0 (Android 12; Mobile; rv:{v}.0) Gecko/{v}.0 Firefox/{v}.0"),
+)
+
+_IOS_TEMPLATES = (
+    ("iOS", "Mobile Safari", "Mozilla/5.0 (iPhone; CPU iPhone OS 15_4 like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/{v}.0 Mobile/15E148 Safari/604.1"),
+    ("iOS", "Chrome Mobile", "Mozilla/5.0 (iPhone; CPU iPhone OS 15_4 like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) CriOS/{v}.0 Mobile/15E148 Safari/604.1"),
+)
+
+_MISC_TEMPLATES = (
+    ("Android", "Tablet Chrome", "Mozilla/5.0 (Linux; Android 11; SM-T870 Tablet) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{v}.0 Safari/537.36"),
+    ("iOS", "iPad Safari", "Mozilla/5.0 (iPad; CPU OS 15_4 like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/{v}.0 Mobile/15E148 Safari/604.1"),
+    ("Other", "SmartTV", "Mozilla/5.0 (SMART-TV; Linux; Tizen 6.0) AppleWebKit/537.36 (KHTML, like Gecko) Version/{v}.0 TV Safari/537.36"),
+    ("Other", "Console", "Mozilla/5.0 (PlayStation 5/SmartBrowser) AppleWebKit/605.1.15 (KHTML, like Gecko)"),
+)
+
+_TEMPLATES_BY_DEVICE = {
+    DeviceType.DESKTOP: _DESKTOP_TEMPLATES,
+    DeviceType.ANDROID: _ANDROID_TEMPLATES,
+    DeviceType.IOS: _IOS_TEMPLATES,
+    DeviceType.MISC: _MISC_TEMPLATES,
+}
+
+
+def synthesize_user_agent(device: DeviceType, rng: np.random.Generator | int | None = None) -> str:
+    """Generate a plausible User-Agent string for ``device``.
+
+    The string is guaranteed to round-trip: ``parse_user_agent`` returns the
+    same device class.
+    """
+    generator = make_rng(rng)
+    templates = _TEMPLATES_BY_DEVICE[device]
+    _os, _browser, template = templates[int(generator.integers(0, len(templates)))]
+    version = int(generator.integers(90, 125))
+    return template.format(v=version)
+
+
+def parse_user_agent(user_agent: str) -> ParsedUserAgent:
+    """Classify a User-Agent string into device, OS and browser.
+
+    The classification follows the same coarse rules real log pipelines use:
+    tablet/TV/console markers take precedence (→ MISC), then iPhone (→ IOS),
+    then Android phones (→ ANDROID); everything else is DESKTOP.
+    """
+    ua = user_agent or ""
+    lowered = ua.lower()
+    if any(marker in lowered for marker in ("tablet", "ipad", "smart-tv", "smarttv", "playstation", "xbox", "nintendo")):
+        return ParsedUserAgent(DeviceType.MISC, _os_of(lowered), _browser_of(lowered))
+    if "iphone" in lowered:
+        return ParsedUserAgent(DeviceType.IOS, "iOS", _browser_of(lowered))
+    if "android" in lowered and "mobile" in lowered:
+        return ParsedUserAgent(DeviceType.ANDROID, "Android", _browser_of(lowered))
+    if "android" in lowered:
+        # Android without the Mobile token is a tablet-class device.
+        return ParsedUserAgent(DeviceType.MISC, "Android", _browser_of(lowered))
+    return ParsedUserAgent(DeviceType.DESKTOP, _os_of(lowered), _browser_of(lowered))
+
+
+def _os_of(lowered: str) -> str:
+    if "windows" in lowered:
+        return "Windows"
+    if "mac os x" in lowered and "iphone" not in lowered and "ipad" not in lowered:
+        return "macOS"
+    if "android" in lowered:
+        return "Android"
+    if "iphone" in lowered or "ipad" in lowered:
+        return "iOS"
+    if "linux" in lowered or "x11" in lowered:
+        return "Linux"
+    return "Other"
+
+
+def _browser_of(lowered: str) -> str:
+    if "crios" in lowered:
+        return "Chrome Mobile"
+    if "firefox" in lowered:
+        return "Firefox"
+    if "chrome" in lowered:
+        return "Chrome"
+    if "safari" in lowered:
+        return "Safari"
+    return "Other"

@@ -1,0 +1,152 @@
+"""Content catalogs: the objects a site stores on the CDN.
+
+A :class:`ContentCatalog` holds one site's objects with everything the
+simulator and analyses need: category, file extension, byte size, birth
+time (content injection, Fig. 7), popularity-trend class (Figs. 8-10),
+and a Zipf popularity weight (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.stats.sampling import make_rng, spawn_rng
+from repro.stats.zipf import ZipfDistribution
+from repro.types import ContentCategory, TrendClass
+from repro.workload.profiles import SiteProfile
+from repro.workload.scale import ScaleConfig
+from repro.workload.sizes import sample_extension, sample_object_sizes
+
+
+@dataclass(frozen=True, slots=True)
+class ContentObject:
+    """One object in a site's catalog."""
+
+    object_id: str
+    site: str
+    category: ContentCategory
+    extension: str
+    size_bytes: int
+    birth_time: float          # trace seconds; 0 for pre-existing objects
+    trend: TrendClass
+    popularity_weight: float   # unnormalised Zipf weight
+
+    @property
+    def is_preexisting(self) -> bool:
+        return self.birth_time <= 0.0
+
+
+class ContentCatalog:
+    """All objects of one site, with popularity and injection structure."""
+
+    def __init__(self, site: str, objects: list[ContentObject]):
+        if not objects:
+            raise CatalogError(f"catalog for {site} is empty")
+        self.site = site
+        self.objects = objects
+        self._by_id = {obj.object_id: obj for obj in objects}
+        if len(self._by_id) != len(objects):
+            raise CatalogError(f"catalog for {site} contains duplicate object ids")
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self) -> Iterator[ContentObject]:
+        return iter(self.objects)
+
+    def __getitem__(self, object_id: str) -> ContentObject:
+        return self._by_id[object_id]
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._by_id
+
+    def by_category(self, category: ContentCategory) -> list[ContentObject]:
+        return [obj for obj in self.objects if obj.category is category]
+
+    def by_trend(self, trend: TrendClass) -> list[ContentObject]:
+        return [obj for obj in self.objects if obj.trend is trend]
+
+    def category_counts(self) -> dict[ContentCategory, int]:
+        counts = {category: 0 for category in ContentCategory}
+        for obj in self.objects:
+            counts[obj.category] += 1
+        return counts
+
+    def total_bytes(self) -> int:
+        return sum(obj.size_bytes for obj in self.objects)
+
+
+def build_catalog(
+    profile: SiteProfile,
+    scale: ScaleConfig,
+    rng: np.random.Generator | int | None = None,
+) -> ContentCatalog:
+    """Generate a site's catalog at the configured scale.
+
+    Object counts follow ``profile.object_mix`` (Fig. 1), sizes the per-
+    category size models (Fig. 5), birth times the injection model (a
+    ``preexisting_fraction`` of objects exists at t=0, the rest arrives
+    uniformly through the week — giving Fig. 7 its age axis), trend classes
+    the ``trend_mix`` (Fig. 8), and popularity weights a Zipf law whose
+    ranks are assigned randomly across the catalog (Fig. 6).
+    """
+    generator = make_rng(rng)
+    total_objects = scale.objects(profile.paper_object_count)
+
+    # Per-category counts: largest-remainder rounding so they sum exactly.
+    categories = list(profile.object_mix)
+    raw = np.array([profile.object_mix[c] * total_objects for c in categories])
+    counts = np.floor(raw).astype(int)
+    remainder = total_objects - counts.sum()
+    order = np.argsort(raw - counts)[::-1]
+    for i in range(remainder):
+        counts[order[i % len(categories)]] += 1
+
+    # Trend classes for the whole catalog.
+    trend_classes = list(profile.trend_mix)
+    trend_probs = np.array([profile.trend_mix[t] for t in trend_classes])
+    trend_probs = trend_probs / trend_probs.sum()
+
+    # Zipf popularity ranks over the whole catalog, shuffled so that rank
+    # correlates with nothing structural (category, birth) except through
+    # the request model itself.
+    zipf = ZipfDistribution(total_objects, profile.zipf_exponent)
+    rank_weights = zipf.probabilities.copy()
+    generator.shuffle(rank_weights)
+
+    objects: list[ContentObject] = []
+    cursor = 0
+    for category, count in zip(categories, counts):
+        if count == 0:
+            continue
+        cat_rng = spawn_rng(generator, f"{profile.name}:{category.value}")
+        trend_idx = cat_rng.choice(len(trend_classes), size=count, p=trend_probs)
+        trends = [trend_classes[i] for i in trend_idx]
+        sizes = sample_object_sizes(profile.size_models[category], category, trends, cat_rng)
+        preexisting = cat_rng.random(count) < profile.preexisting_fraction
+        births = np.where(
+            preexisting,
+            0.0,
+            cat_rng.uniform(0.0, scale.duration_seconds, size=count),
+        )
+        prefer_gif = profile.name == "V-2"
+        for i in range(count):
+            index = cursor + i
+            objects.append(
+                ContentObject(
+                    object_id=f"{profile.name}/{category.value}/{index:06d}",
+                    site=profile.name,
+                    category=category,
+                    extension=sample_extension(category, cat_rng, prefer_gif=prefer_gif),
+                    size_bytes=int(sizes[i]),
+                    birth_time=float(births[i]),
+                    trend=trends[i],
+                    popularity_weight=float(rank_weights[index]),
+                )
+            )
+        cursor += count
+    return ContentCatalog(profile.name, objects)

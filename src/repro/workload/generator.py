@@ -1,0 +1,367 @@
+"""The workload generator: sessions + catalogs → a stream of requests.
+
+This is the synthetic replacement for the paper's proprietary CDN logs.
+For each site it builds the catalog and user population, plans every user
+session for the week, and turns sessions into time-ordered
+:class:`Request` events with the object-selection model below:
+
+* a request first draws its *category* from the site's request mix
+  (Fig. 2a: request traffic skews differently from the catalog mix);
+* within a category, the object is drawn with probability proportional to
+  ``popularity_weight × trend_envelope(hour)`` — Zipf popularity (Fig. 6)
+  modulated by the object's temporal trend class (Figs. 7-10) so unborn
+  objects get no traffic and short-lived objects die off;
+* with a user- and category-dependent probability the user instead
+  *re-requests a favourite object* (addiction; Figs. 13/14), and strongly
+  addicted users add binge requests on top — producing the
+  far-above-diagonal points of Fig. 13.
+
+Feeding the request stream to :class:`repro.cdn.CdnSimulator` yields the
+HTTP log the analysis pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.stats.sampling import make_rng, spawn_rng
+from repro.types import Continent, ContentCategory, HOUR_SECONDS
+from repro.workload.catalog import ContentCatalog, ContentObject, build_catalog
+from repro.workload.population import User, UserPopulation, build_population
+from repro.workload.profiles import ALL_PROFILES, SiteProfile
+from repro.workload.scale import ScaleConfig
+from repro.workload.sessions import hourly_start_distribution, plan_session, sample_session_starts
+from repro.workload.temporal import trend_envelope
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One user request event, before it reaches the CDN."""
+
+    timestamp: float
+    user: User
+    obj: ContentObject
+    is_repeat: bool = False
+
+    def __lt__(self, other: "Request") -> bool:
+        return self.timestamp < other.timestamp
+
+
+@dataclass
+class SiteWorkload:
+    """Everything generated for one site."""
+
+    profile: SiteProfile
+    catalog: ContentCatalog
+    population: UserPopulation
+    requests: list[Request]
+
+    @property
+    def request_count(self) -> int:
+        return len(self.requests)
+
+
+class WorkloadGenerator:
+    """Generate a full week of synthetic traffic for a set of sites.
+
+    Parameters
+    ----------
+    profiles:
+        Site profiles to generate (defaults to the paper's five sites).
+    scale:
+        Down-scaling configuration (defaults to :meth:`ScaleConfig.small`).
+    seed:
+        Master seed; every draw in the run derives from it.
+    """
+
+    #: Multiplier turning (propensity x category addiction) into an
+    #: in-session repeat probability (re-request of recently consumed
+    #: content); part of the Fig. 13/14 repeated-access signal.
+    REPEAT_GAIN = 2.0
+    #: How far back in a user's history in-session repeats reach.  Addicts
+    #: re-watch what they recently consumed; an unbounded window would keep
+    #: reviving long-dead objects and flatten the Fig. 7 aging curve.
+    REPEAT_WINDOW = 6
+    #: Binge fans per video object: the number of dedicated-fan users is
+    #: ``BINGE_FANS_PER_VIDEO_OBJECT x |video catalog|``, directly
+    #: calibrating the >=10%-of-video-objects-above-10-requests/user tail
+    #: of Fig. 14 while keeping binge volume a small share of traffic.
+    BINGE_FANS_PER_VIDEO_OBJECT = 0.16
+    #: Mean binge length (requests by one fan on one object).
+    BINGE_MEAN_REQUESTS = 14.0
+    #: Probability a binge is extreme (8x), producing Fig. 13's
+    #: two-orders-of-magnitude outliers.
+    EXTREME_BINGE_PROB = 0.05
+
+    def __init__(
+        self,
+        profiles: tuple[SiteProfile, ...] | list[SiteProfile] | None = None,
+        scale: ScaleConfig | None = None,
+        seed: int = 0,
+    ):
+        self.profiles = tuple(profiles) if profiles is not None else ALL_PROFILES()
+        if not self.profiles:
+            raise WorkloadError("WorkloadGenerator needs at least one site profile")
+        self.scale = scale or ScaleConfig.small()
+        self.seed = seed
+
+    # -- public API --------------------------------------------------------
+
+    def generate_site(self, profile: SiteProfile) -> SiteWorkload:
+        """Generate catalog, population and time-ordered requests for a site."""
+        rng = make_rng(np.random.SeedSequence([self.seed, _stable_site_seed(profile.name)]))
+        catalog = build_catalog(profile, self.scale, spawn_rng(rng, "catalog"))
+        population = build_population(profile, self.scale, spawn_rng(rng, "population"))
+        requests = self._generate_requests(profile, catalog, population, spawn_rng(rng, "requests"))
+        requests.sort(key=lambda r: r.timestamp)
+        return SiteWorkload(profile=profile, catalog=catalog, population=population, requests=requests)
+
+    def generate_all(self, parallel: bool = False, max_workers: int | None = None) -> dict[str, SiteWorkload]:
+        """Generate every configured site.
+
+        ``parallel=True`` generates sites in separate processes.  Each
+        site's randomness derives solely from (master seed, site name), so
+        parallel and serial generation produce identical workloads; the
+        speed-up is roughly the number of sites for large scales.
+        """
+        if not parallel:
+            return {profile.name: self.generate_site(profile) for profile in self.profiles}
+        import concurrent.futures
+
+        results: dict[str, SiteWorkload] = {}
+        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_generate_site_task, self.profiles, self.scale, self.seed, profile.name): profile.name
+                for profile in self.profiles
+            }
+            for future in concurrent.futures.as_completed(futures):
+                workload = future.result()
+                results[workload.profile.name] = workload
+        return results
+
+    def merged_requests(self, workloads: dict[str, SiteWorkload] | None = None) -> Iterator[Request]:
+        """All sites' requests merged into one global time order.
+
+        The CDN simulator consumes this stream so that shared edge caches
+        see cross-site interleaving, as a real CDN does.
+        """
+        if workloads is None:
+            workloads = self.generate_all()
+        yield from heapq.merge(*(w.requests for w in workloads.values()), key=lambda r: r.timestamp)
+
+    # -- internals ----------------------------------------------------------
+
+    def _generate_requests(
+        self,
+        profile: SiteProfile,
+        catalog: ContentCatalog,
+        population: UserPopulation,
+        rng: np.random.Generator,
+    ) -> list[Request]:
+        duration = float(self.scale.duration_seconds)
+        duration_hours = self.scale.duration_hours
+
+        # Per-hour object-selection tables, built lazily per (category, hour).
+        selector = _ObjectSelector(
+            catalog, duration_hours, spawn_rng(rng, "selector"), peak_hour=profile.peak_local_hour
+        )
+
+        # How many sessions produce the target request volume in expectation.
+        target_requests = self.scale.requests(profile.paper_request_count)
+        total_sessions = max(10, int(round(target_requests / profile.mean_requests_per_session)))
+
+        # Sessions are dealt to users proportionally to their activity weight.
+        activity = np.array([u.activity_weight for u in population.users])
+        session_counts = rng.multinomial(total_sessions, activity / activity.sum())
+
+        start_distributions = {
+            continent: hourly_start_distribution(profile, duration_hours, continent.utc_offset_hours)
+            for continent in Continent
+        }
+
+        categories = list(profile.request_mix)
+        category_probs = np.array([profile.request_mix[c] for c in categories])
+        category_probs = category_probs / category_probs.sum()
+
+        requests: list[Request] = []
+        history: dict[int, list[ContentObject]] = {}
+        favorites: dict[int, ContentObject] = {}
+
+        for user_index, n_sessions in enumerate(session_counts):
+            if n_sessions == 0:
+                continue
+            user = population.users[user_index]
+            starts = sample_session_starts(int(n_sessions), start_distributions[user.continent], rng)
+            # Process a user's sessions chronologically so their history
+            # (and hence repeat behaviour) evolves forward in time.
+            starts = np.sort(starts)
+            user_history = history.setdefault(user_index, [])
+            for start in starts:
+                plan = plan_session(
+                    user_index,
+                    float(start),
+                    profile.session_single_fraction,
+                    profile.session_mean_requests,
+                    profile.session_think_time_s,
+                    duration,
+                    rng,
+                )
+                for timestamp in plan.request_times:
+                    obj, is_repeat = self._pick_object(
+                        profile, selector, user, user_history, favorites, user_index,
+                        float(timestamp), categories, category_probs, rng,
+                    )
+                    if obj is None:
+                        continue
+                    requests.append(Request(timestamp=float(timestamp), user=user, obj=obj, is_repeat=is_repeat))
+                    user_history.append(obj)
+
+        self._add_binges(profile, catalog, population, history, requests, duration, rng)
+        return requests
+
+    def _pick_object(
+        self,
+        profile: SiteProfile,
+        selector: "_ObjectSelector",
+        user: User,
+        user_history: list[ContentObject],
+        favorites: dict[int, ContentObject],
+        user_index: int,
+        timestamp: float,
+        categories: list[ContentCategory],
+        category_probs: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[ContentObject | None, bool]:
+        category = categories[int(rng.choice(len(categories), p=category_probs))]
+        addiction_level = profile.addiction_video if category is ContentCategory.VIDEO else profile.addiction_image
+        repeat_prob = min(0.85, self.REPEAT_GAIN * user.addiction_propensity * addiction_level)
+        if user_history and rng.random() < repeat_prob:
+            favorite = favorites.get(user_index)
+            if favorite is None or rng.random() < 0.3:
+                window = user_history[-self.REPEAT_WINDOW:]
+                favorite = window[int(rng.integers(0, len(window)))]
+                favorites[user_index] = favorite
+            return favorite, True
+        hour = min(int(timestamp // HOUR_SECONDS), selector.duration_hours - 1)
+        obj = selector.sample(category, hour, rng)
+        return obj, False
+
+    def _add_binges(
+        self,
+        profile: SiteProfile,
+        catalog: ContentCatalog,
+        population: UserPopulation,
+        history: dict[int, list[ContentObject]],
+        requests: list[Request],
+        duration: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Append binge re-requests for strongly addicted users (Fig. 13/14).
+
+        Each strongly addicted visitor fixates on one object — chosen
+        uniformly from the catalog's dominant addictive category, so tail
+        objects can acquire a dedicated fan — and re-requests it many
+        times over a few days.  Occasional extreme binges produce the
+        two-orders-of-magnitude requests-to-users outliers of Fig. 13.
+        """
+        video_objects = catalog.by_category(ContentCategory.VIDEO)
+        if not video_objects:
+            return
+        # Calibrated fan count: enough dedicated fans that >=10% of video
+        # objects clear the 10-requests/user bar, spread over the catalog.
+        addiction_boost = profile.addiction_video / 0.3
+        n_fans = max(2, int(round(self.BINGE_FANS_PER_VIDEO_OBJECT * addiction_boost * len(video_objects))))
+        candidates = sorted(
+            history,
+            key=lambda idx: -population.users[idx].addiction_propensity,
+        )[: max(n_fans, 1)]
+        for user_index in candidates:
+            user = population.users[user_index]
+            favorite = video_objects[int(rng.integers(0, len(video_objects)))]
+            extra = 3 + int(rng.poisson(self.BINGE_MEAN_REQUESTS))
+            # Extreme (Fig. 13's ~100x) binges only on sites with a real
+            # video catalog; on image sites a single extreme fan would
+            # visibly distort the site's category request mix.
+            if len(video_objects) >= 20 and rng.random() < self.EXTREME_BINGE_PROB:
+                extra *= 8
+            anchor = float(rng.uniform(max(favorite.birth_time, 0.0), duration))
+            spread = rng.exponential(scale=3 * HOUR_SECONDS, size=extra)
+            times = np.clip(anchor + np.cumsum(spread) - spread.sum() / 2, favorite.birth_time, duration - 1)
+            for t in times:
+                requests.append(Request(timestamp=float(t), user=user, obj=favorite, is_repeat=True))
+
+
+class _ObjectSelector:
+    """Lazy per-(category, hour) sampling tables.
+
+    Weight of an object in hour ``h`` is its Zipf popularity weight times
+    its trend envelope at ``h``.  Cumulative-weight tables are built on
+    first use of each (category, hour) pair and cached.
+    """
+
+    def __init__(
+        self,
+        catalog: ContentCatalog,
+        duration_hours: int,
+        rng: np.random.Generator,
+        peak_hour: int | None = None,
+    ):
+        self.duration_hours = duration_hours
+        self._objects: dict[ContentCategory, list[ContentObject]] = {}
+        self._envelopes: dict[ContentCategory, np.ndarray] = {}
+        self._weights: dict[ContentCategory, np.ndarray] = {}
+        self._tables: dict[tuple[ContentCategory, int], np.ndarray | None] = {}
+        for category in ContentCategory:
+            objects = catalog.by_category(category)
+            self._objects[category] = objects
+            if not objects:
+                continue
+            envelope_matrix = np.empty((len(objects), duration_hours))
+            for i, obj in enumerate(objects):
+                envelope_matrix[i] = trend_envelope(
+                    obj.trend,
+                    obj.birth_time / HOUR_SECONDS,
+                    duration_hours,
+                    spawn_rng(rng, obj.object_id),
+                    peak_hour=peak_hour,
+                )
+            self._envelopes[category] = envelope_matrix
+            self._weights[category] = np.array([obj.popularity_weight for obj in objects])
+
+    def sample(self, category: ContentCategory, hour: int, rng: np.random.Generator) -> ContentObject | None:
+        """Draw one object of ``category`` alive at ``hour`` (None if none)."""
+        objects = self._objects.get(category)
+        if not objects:
+            return None
+        key = (category, hour)
+        table = self._tables.get(key, _UNSET)
+        if table is _UNSET:
+            weights = self._weights[category] * self._envelopes[category][:, hour]
+            total = weights.sum()
+            table = np.cumsum(weights) / total if total > 0 else None
+            self._tables[key] = table
+        if table is None:
+            return None
+        index = int(np.searchsorted(table, rng.random(), side="right"))
+        index = min(index, len(objects) - 1)
+        return objects[index]
+
+
+_UNSET = object()
+
+
+def _stable_site_seed(name: str) -> int:
+    """Deterministic small integer from a site name (hash() is salted)."""
+    return sum((i + 1) * ord(ch) for i, ch in enumerate(name)) % 65521
+
+
+def _generate_site_task(profiles, scale, seed: int, name: str) -> SiteWorkload:
+    """Module-level worker for ProcessPoolExecutor (must be picklable)."""
+    generator = WorkloadGenerator(profiles=profiles, scale=scale, seed=seed)
+    profile = next(p for p in profiles if p.name == name)
+    return generator.generate_site(profile)

@@ -1,0 +1,145 @@
+"""User populations: who visits a site, from where, on what device.
+
+Each synthetic user carries the attributes the analyses depend on:
+a stable anonymised id, a device type (Fig. 4), a continent with its UTC
+offset (Fig. 3's local-time conversion; the paper's users span four
+continents), an incognito-browsing flag (Section V's browser-cache
+discussion), an activity weight (some users visit far more than others),
+and an addiction propensity (Figs. 13/14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.stats.sampling import make_rng
+from repro.trace.useragent import synthesize_user_agent
+from repro.types import Continent, DeviceType
+from repro.workload.profiles import SiteProfile
+from repro.workload.scale import ScaleConfig
+
+#: Share of each continent in the user base.  The paper says only "four
+#: different continents"; we skew towards the Americas/Europe consistent
+#: with commercial-CDN deployments.
+CONTINENT_MIX = {
+    Continent.NORTH_AMERICA: 0.40,
+    Continent.EUROPE: 0.33,
+    Continent.ASIA: 0.17,
+    Continent.SOUTH_AMERICA: 0.10,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class User:
+    """One synthetic visitor of one site."""
+
+    user_id: str
+    site: str
+    device: DeviceType
+    continent: Continent
+    user_agent: str
+    incognito: bool
+    #: Relative visit intensity (lognormal; heavy visitors exist).
+    activity_weight: float
+    #: Propensity to re-request content already consumed (0..1).
+    addiction_propensity: float
+
+    @property
+    def utc_offset_hours(self) -> int:
+        return self.continent.utc_offset_hours
+
+
+class UserPopulation:
+    """The visitors of one site for the trace week."""
+
+    def __init__(self, site: str, users: list[User]):
+        if not users:
+            raise WorkloadError(f"user population for {site} is empty")
+        self.site = site
+        self.users = users
+        self._activity = np.array([u.activity_weight for u in users])
+        self._activity_prob = self._activity / self._activity.sum()
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self):
+        return iter(self.users)
+
+    def sample_visitor(self, rng: np.random.Generator) -> User:
+        """Draw one user weighted by activity (heavy users visit more)."""
+        index = int(rng.choice(len(self.users), p=self._activity_prob))
+        return self.users[index]
+
+    def sample_visitors(self, rng: np.random.Generator, size: int) -> list[User]:
+        indices = rng.choice(len(self.users), size=size, p=self._activity_prob)
+        return [self.users[int(i)] for i in indices]
+
+    def device_counts(self) -> dict[DeviceType, int]:
+        counts = {device: 0 for device in DeviceType}
+        for user in self.users:
+            counts[user.device] += 1
+        return counts
+
+
+def build_population(
+    profile: SiteProfile,
+    scale: ScaleConfig,
+    rng: np.random.Generator | int | None = None,
+) -> UserPopulation:
+    """Generate the week's visitor population for a site.
+
+    Device assignment follows ``profile.device_mix`` (Fig. 4) with
+    largest-remainder rounding so the realised mix matches the target even
+    at small scale; continents follow :data:`CONTINENT_MIX`; activity
+    weights are log-normal (a small core of heavy visitors); addiction
+    propensity is Beta-distributed with a mean set by the site's video
+    addiction level.
+    """
+    generator = make_rng(rng)
+    total_users = scale.users(profile.paper_user_count)
+
+    devices = list(profile.device_mix)
+    raw = np.array([profile.device_mix[d] * total_users for d in devices])
+    counts = np.floor(raw).astype(int)
+    remainder = total_users - counts.sum()
+    order = np.argsort(raw - counts)[::-1]
+    for i in range(remainder):
+        counts[order[i % len(devices)]] += 1
+    device_assignment: list[DeviceType] = []
+    for device, count in zip(devices, counts):
+        device_assignment.extend([device] * int(count))
+    generator.shuffle(device_assignment)
+
+    continents = list(CONTINENT_MIX)
+    continent_probs = np.array([CONTINENT_MIX[c] for c in continents])
+    continent_idx = generator.choice(len(continents), size=total_users, p=continent_probs)
+
+    activity = generator.lognormal(mean=0.0, sigma=profile.activity_sigma, size=total_users)
+    # Addiction propensity: most users rarely repeat, a minority repeats a
+    # lot (Fig. 13's far-above-diagonal points).
+    mean_addiction = profile.addiction_video
+    beta_a = max(0.3, 2.0 * mean_addiction)
+    beta_b = max(0.3, 2.0 * (1.0 - mean_addiction))
+    addiction = generator.beta(beta_a, beta_b, size=total_users)
+    incognito = generator.random(total_users) < profile.incognito_fraction
+
+    users = []
+    for i in range(total_users):
+        device = device_assignment[i]
+        users.append(
+            User(
+                user_id=f"{profile.name}-u{i:06d}",
+                site=profile.name,
+                device=device,
+                continent=continents[int(continent_idx[i])],
+                user_agent=synthesize_user_agent(device, generator),
+                incognito=bool(incognito[i]),
+                activity_weight=float(activity[i]),
+                addiction_propensity=float(addiction[i]),
+            )
+        )
+    return UserPopulation(profile.name, users)

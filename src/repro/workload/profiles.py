@@ -1,0 +1,433 @@
+"""Per-site workload profiles calibrated to the paper's published numbers.
+
+Section III/IV of the paper characterises five anonymised adult websites:
+two YouTube-style video sites (V-1, V-2), two image-heavy sites (P-1, P-2)
+and one adult social network (S-1).  Each :class:`SiteProfile` below encodes
+every statistic the paper reports for that site (catalog size, category mix,
+weekly request counts, device mix, temporal shape, popularity-trend mix,
+addiction intensity), so the synthetic trace reproduces the figures' shapes.
+
+Calibration sources (figure/section → field):
+
+* Fig. 1 caption      → ``paper_object_count``, ``object_mix``
+* Fig. 2(a) text      → ``paper_request_count`` (per-category request counts)
+* Fig. 3              → ``peak_local_hour``, ``diurnal_amplitude``
+* Fig. 4              → ``device_mix``
+* Fig. 5              → size-model parameters (see :mod:`repro.workload.sizes`)
+* Fig. 6              → ``zipf_exponent``
+* Fig. 7              → injection/decay parameters (``trend_mix``)
+* Fig. 8 dendrograms  → ``trend_mix`` cluster shares
+* Fig. 11/12          → ``session_*`` fields (IAT medians, session lengths)
+* Fig. 13/14          → ``addiction_video`` / ``addiction_image``
+* Fig. 15             → relative cacheability (``cache_priority``)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.types import ContentCategory, DeviceType, SiteKind, TrendClass
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Log-normal size model parameters (bytes) for one content category.
+
+    Image categories may be bi-modal: a thumbnail mode and a full-resolution
+    mode mixed with ``bimodal_split`` weight on the thumbnail mode, matching
+    the bi-modal image-size CDFs of Fig. 5(b).
+    """
+
+    median_bytes: float
+    sigma: float
+    bimodal_split: float = 0.0
+    thumb_median_bytes: float = 18_000.0
+    thumb_sigma: float = 0.55
+
+    def __post_init__(self) -> None:
+        if self.median_bytes <= 0:
+            raise ConfigError(f"median_bytes must be positive, got {self.median_bytes}")
+        if self.sigma <= 0:
+            raise ConfigError(f"sigma must be positive, got {self.sigma}")
+        if not 0.0 <= self.bimodal_split < 1.0:
+            raise ConfigError(f"bimodal_split must be in [0, 1), got {self.bimodal_split}")
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """Complete workload description of one adult website."""
+
+    name: str
+    kind: SiteKind
+    #: Objects on CDN servers during the paper's week (Fig. 1 caption).
+    paper_object_count: int
+    #: Weekly requests in the paper's trace (Fig. 2a discussion).
+    paper_request_count: int
+    #: Weekly unique visitors (scaled share of the paper's 80 M total).
+    paper_user_count: int
+    #: Fraction of catalog objects per category (Fig. 1).
+    object_mix: dict[ContentCategory, float]
+    #: Fraction of requests per category (Fig. 2a); requests skew towards
+    #: the front-page media, not the catalog mix.
+    request_mix: dict[ContentCategory, float]
+    #: Visitor share per device type (Fig. 4).
+    device_mix: dict[DeviceType, float]
+    #: Size model per category (Fig. 5).
+    size_models: dict[ContentCategory, SizeModel]
+    #: Zipf exponent of object popularity (Fig. 6 long tails).
+    zipf_exponent: float
+    #: Local hour of peak traffic (Fig. 3; V-1 peaks late-night/early-morning).
+    peak_local_hour: int
+    #: Peak-to-trough ratio of the daily cycle (V-1 most pronounced).
+    diurnal_amplitude: float
+    #: Popularity-trend class shares (Fig. 8 dendrogram percentages).
+    trend_mix: dict[TrendClass, float]
+    #: Session-size model (Figs. 11/12): fraction of single-request
+    #: sessions, mean requests of multi-request sessions, and the mean
+    #: in-session think time.  Image-heavy sites have more single-request
+    #: check-in sessions (their IATs are dominated by cross-session gaps,
+    #: pushing the median far above the video sites').
+    session_single_fraction: float
+    session_mean_requests: float
+    session_think_time_s: float
+    #: Mean sessions per active user per week (drives IAT tails, Fig. 11).
+    sessions_per_user_week: float
+    #: Log-normal sigma of per-user activity weights; larger values
+    #: concentrate the site's sessions on a smaller heavy-visitor core.
+    activity_sigma: float
+    #: Probability that a user's repeat visit re-requests a previously
+    #: watched object (addiction; Figs. 13/14).
+    addiction_video: float
+    addiction_image: float
+    #: Fraction of users browsing in incognito/private mode (Section V:
+    #: adult browsing is predominantly private, killing browser caching).
+    incognito_fraction: float = 0.85
+    #: Relative CDN cache priority; S-1 has the smallest cached share (Fig. 15).
+    cache_priority: float = 1.0
+    #: Fraction of catalog present at trace start (rest injected during the
+    #: week; Fig. 7 aging analysis needs continuous injection).
+    preexisting_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        for label, mix in (("object_mix", self.object_mix), ("request_mix", self.request_mix)):
+            total = sum(mix.values())
+            if abs(total - 1.0) > 1e-6:
+                raise ConfigError(f"{self.name}: {label} must sum to 1, got {total}")
+        device_total = sum(self.device_mix.values())
+        if abs(device_total - 1.0) > 1e-6:
+            raise ConfigError(f"{self.name}: device_mix must sum to 1, got {device_total}")
+        trend_total = sum(self.trend_mix.values())
+        if abs(trend_total - 1.0) > 1e-6:
+            raise ConfigError(f"{self.name}: trend_mix must sum to 1, got {trend_total}")
+        if not 0 <= self.peak_local_hour < 24:
+            raise ConfigError(f"{self.name}: peak_local_hour must be in [0, 24), got {self.peak_local_hour}")
+        if self.diurnal_amplitude < 1.0:
+            raise ConfigError(f"{self.name}: diurnal_amplitude must be >= 1, got {self.diurnal_amplitude}")
+        if not 0.0 <= self.session_single_fraction < 1.0:
+            raise ConfigError(
+                f"{self.name}: session_single_fraction must be in [0, 1), got {self.session_single_fraction}"
+            )
+        if self.session_mean_requests < 2.0:
+            raise ConfigError(
+                f"{self.name}: session_mean_requests is the mean of multi-request sessions and must be >= 2"
+            )
+        if self.activity_sigma <= 0:
+            raise ConfigError(f"{self.name}: activity_sigma must be positive")
+
+    @property
+    def mean_requests_per_session(self) -> float:
+        """Overall mean requests per session, singles included."""
+        return (
+            self.session_single_fraction
+            + (1.0 - self.session_single_fraction) * self.session_mean_requests
+        )
+
+    @property
+    def mobile_fraction(self) -> float:
+        """Share of visitors on non-desktop devices (Fig. 4 discussion)."""
+        return sum(share for device, share in self.device_mix.items() if device.is_mobile)
+
+
+# --------------------------------------------------------------------------
+# The five sites.  Where the paper gives a number we use it; where it gives
+# only a qualitative statement we pick a value consistent with the figures.
+# --------------------------------------------------------------------------
+
+_VIDEO_EXT_SIZE = SizeModel(median_bytes=18_000_000, sigma=1.1)
+
+
+def profile_v1() -> SiteProfile:
+    """V-1: YouTube-style adult video site.
+
+    Paper: 6.6K objects, 98% video; 3.1M video requests and 258 GB of video
+    bytes in the week; traffic peaks late-night/early-morning (anti-diurnal,
+    the most pronounced cycle of the five); >90% desktop.
+    """
+    return SiteProfile(
+        name="V-1",
+        kind=SiteKind.VIDEO,
+        paper_object_count=6_600,
+        paper_request_count=3_200_000,
+        paper_user_count=1_400_000,
+        object_mix={ContentCategory.VIDEO: 0.98, ContentCategory.IMAGE: 0.01, ContentCategory.OTHER: 0.01},
+        request_mix={ContentCategory.VIDEO: 0.97, ContentCategory.IMAGE: 0.02, ContentCategory.OTHER: 0.01},
+        device_mix={DeviceType.DESKTOP: 0.88, DeviceType.ANDROID: 0.07, DeviceType.IOS: 0.03, DeviceType.MISC: 0.02},
+        size_models={
+            # Videos on the order of tens of MB (Fig. 5a: majority > 1 MB).
+            ContentCategory.VIDEO: SizeModel(median_bytes=14_000_000, sigma=1.2),
+            ContentCategory.IMAGE: SizeModel(median_bytes=120_000, sigma=0.9, bimodal_split=0.55),
+            ContentCategory.OTHER: SizeModel(median_bytes=9_000, sigma=1.0),
+        },
+        zipf_exponent=0.95,
+        peak_local_hour=2,       # late-night / early-morning peak (Fig. 3)
+        diurnal_amplitude=3.2,   # most pronounced cycle of the five
+        trend_mix={
+            TrendClass.DIURNAL: 0.30,
+            TrendClass.LONG_LIVED: 0.25,
+            TrendClass.SHORT_LIVED: 0.25,
+            TrendClass.FLASH_CROWD: 0.05,
+            TrendClass.OUTLIER: 0.15,
+        },
+        session_single_fraction=0.25,
+        session_mean_requests=4.5,
+        session_think_time_s=45.0,     # video sites: shortest IATs (Fig. 11)
+        sessions_per_user_week=1.2,
+        activity_sigma=0.9,
+        addiction_video=0.30,          # >=10% of video objects exceed 10 req/user
+        addiction_image=0.02,
+        cache_priority=1.0,
+    )
+
+
+def profile_v2() -> SiteProfile:
+    """V-2: adult video site with GIF hover-previews.
+
+    Paper: 55.6K objects, 84% image / 15% video (large GIF summaries); 657K
+    image vs 359K video requests; >95% desktop visitors; trend clusters
+    roughly 11% diurnal-A, 14% diurnal-B, 22% long-lived, 20% short-lived,
+    33% outliers (Fig. 8a).
+    """
+    return SiteProfile(
+        name="V-2",
+        kind=SiteKind.VIDEO,
+        paper_object_count=55_600,
+        paper_request_count=1_050_000,
+        paper_user_count=620_000,
+        object_mix={ContentCategory.VIDEO: 0.15, ContentCategory.IMAGE: 0.84, ContentCategory.OTHER: 0.01},
+        request_mix={ContentCategory.VIDEO: 0.34, ContentCategory.IMAGE: 0.62, ContentCategory.OTHER: 0.04},
+        device_mix={DeviceType.DESKTOP: 0.955, DeviceType.ANDROID: 0.025, DeviceType.IOS: 0.012, DeviceType.MISC: 0.008},
+        size_models={
+            ContentCategory.VIDEO: SizeModel(median_bytes=9_000_000, sigma=1.1),
+            # Many animated-GIF previews: heavier image mode than pure photo sites.
+            ContentCategory.IMAGE: SizeModel(median_bytes=350_000, sigma=1.0, bimodal_split=0.45),
+            ContentCategory.OTHER: SizeModel(median_bytes=11_000, sigma=1.0),
+        },
+        zipf_exponent=0.90,
+        peak_local_hour=23,
+        diurnal_amplitude=1.35,
+        trend_mix={
+            TrendClass.DIURNAL: 0.25,      # diurnal-A (11%) + diurnal-B (14%)
+            TrendClass.LONG_LIVED: 0.22,
+            TrendClass.SHORT_LIVED: 0.20,
+            TrendClass.FLASH_CROWD: 0.0,
+            TrendClass.OUTLIER: 0.33,
+        },
+        session_single_fraction=0.28,
+        session_mean_requests=4.0,
+        session_think_time_s=55.0,
+        sessions_per_user_week=1.1,
+        activity_sigma=0.95,
+        addiction_video=0.26,
+        addiction_image=0.03,
+        cache_priority=0.9,
+    )
+
+
+def profile_p1() -> SiteProfile:
+    """P-1: image-heavy adult content site.
+
+    Paper: 16.3K objects, 99% image; 719K image requests; relatively more
+    smartphone visitors than the video sites.
+    """
+    return SiteProfile(
+        name="P-1",
+        kind=SiteKind.IMAGE,
+        paper_object_count=16_300,
+        paper_request_count=740_000,
+        paper_user_count=480_000,
+        object_mix={ContentCategory.VIDEO: 0.004, ContentCategory.IMAGE: 0.99, ContentCategory.OTHER: 0.006},
+        request_mix={ContentCategory.VIDEO: 0.01, ContentCategory.IMAGE: 0.97, ContentCategory.OTHER: 0.02},
+        device_mix={DeviceType.DESKTOP: 0.76, DeviceType.ANDROID: 0.13, DeviceType.IOS: 0.07, DeviceType.MISC: 0.04},
+        size_models={
+            ContentCategory.VIDEO: SizeModel(median_bytes=6_000_000, sigma=1.0),
+            ContentCategory.IMAGE: SizeModel(median_bytes=240_000, sigma=0.9, bimodal_split=0.55),
+            ContentCategory.OTHER: SizeModel(median_bytes=8_000, sigma=1.0),
+        },
+        zipf_exponent=0.85,
+        peak_local_hour=22,
+        diurnal_amplitude=1.3,
+        trend_mix={
+            TrendClass.DIURNAL: 0.45,
+            TrendClass.LONG_LIVED: 0.25,
+            TrendClass.SHORT_LIVED: 0.20,
+            TrendClass.FLASH_CROWD: 0.05,
+            TrendClass.OUTLIER: 0.05,
+        },
+        session_single_fraction=0.55,
+        session_mean_requests=2.6,
+        session_think_time_s=80.0,     # image-heavy: cross-session gaps dominate
+        sessions_per_user_week=0.9,
+        activity_sigma=1.6,
+        addiction_video=0.18,
+        addiction_image=0.05,
+        cache_priority=0.95,
+    )
+
+
+def profile_p2() -> SiteProfile:
+    """P-2: image-heavy adult content site with the largest video objects.
+
+    Paper: 29.6K objects, ~99% image; 175K image requests; P-2 has the
+    largest video object sizes (Fig. 5a); trend clusters roughly 61%
+    diurnal, 25% long-lived, 14% flash-crowd (Fig. 8b).
+    """
+    return SiteProfile(
+        name="P-2",
+        kind=SiteKind.IMAGE,
+        paper_object_count=29_600,
+        paper_request_count=185_000,
+        paper_user_count=140_000,
+        object_mix={ContentCategory.VIDEO: 0.005, ContentCategory.IMAGE: 0.99, ContentCategory.OTHER: 0.005},
+        request_mix={ContentCategory.VIDEO: 0.02, ContentCategory.IMAGE: 0.95, ContentCategory.OTHER: 0.03},
+        device_mix={DeviceType.DESKTOP: 0.72, DeviceType.ANDROID: 0.15, DeviceType.IOS: 0.08, DeviceType.MISC: 0.05},
+        size_models={
+            # Largest video objects of the five sites (Fig. 5a).
+            ContentCategory.VIDEO: SizeModel(median_bytes=45_000_000, sigma=1.1),
+            ContentCategory.IMAGE: SizeModel(median_bytes=200_000, sigma=0.95, bimodal_split=0.60),
+            ContentCategory.OTHER: SizeModel(median_bytes=8_000, sigma=1.0),
+        },
+        zipf_exponent=0.80,
+        peak_local_hour=21,
+        diurnal_amplitude=1.25,
+        trend_mix={
+            TrendClass.DIURNAL: 0.61,
+            TrendClass.LONG_LIVED: 0.25,
+            TrendClass.SHORT_LIVED: 0.0,
+            TrendClass.FLASH_CROWD: 0.14,
+            TrendClass.OUTLIER: 0.0,
+        },
+        session_single_fraction=0.57,
+        session_mean_requests=2.4,
+        session_think_time_s=90.0,
+        sessions_per_user_week=0.8,
+        activity_sigma=1.65,
+        addiction_video=0.15,
+        addiction_image=0.04,
+        cache_priority=0.9,
+    )
+
+
+def profile_s1() -> SiteProfile:
+    """S-1: adult social networking site.
+
+    Paper: 22.9K objects, ~99% image; 231K image requests; more than a third
+    of visitors on smartphones/misc devices; smallest fraction of objects in
+    the CDN cache (Fig. 15).
+    """
+    return SiteProfile(
+        name="S-1",
+        kind=SiteKind.SOCIAL,
+        paper_object_count=22_900,
+        paper_request_count=245_000,
+        paper_user_count=210_000,
+        object_mix={ContentCategory.VIDEO: 0.003, ContentCategory.IMAGE: 0.99, ContentCategory.OTHER: 0.007},
+        request_mix={ContentCategory.VIDEO: 0.01, ContentCategory.IMAGE: 0.95, ContentCategory.OTHER: 0.04},
+        device_mix={DeviceType.DESKTOP: 0.63, DeviceType.ANDROID: 0.20, DeviceType.IOS: 0.11, DeviceType.MISC: 0.06},
+        size_models={
+            ContentCategory.VIDEO: SizeModel(median_bytes=5_000_000, sigma=1.0),
+            # Profile photos: strong thumbnail mode.
+            ContentCategory.IMAGE: SizeModel(median_bytes=150_000, sigma=0.9, bimodal_split=0.65),
+            ContentCategory.OTHER: SizeModel(median_bytes=7_000, sigma=1.0),
+        },
+        zipf_exponent=0.75,
+        peak_local_hour=20,
+        diurnal_amplitude=1.3,
+        trend_mix={
+            TrendClass.DIURNAL: 0.35,
+            TrendClass.LONG_LIVED: 0.20,
+            TrendClass.SHORT_LIVED: 0.30,
+            TrendClass.FLASH_CROWD: 0.05,
+            TrendClass.OUTLIER: 0.10,
+        },
+        session_single_fraction=0.55,
+        session_mean_requests=2.8,
+        session_think_time_s=90.0,
+        sessions_per_user_week=1.0,
+        activity_sigma=1.55,
+        addiction_video=0.12,
+        addiction_image=0.06,
+        cache_priority=0.65,           # smallest cached share (Fig. 15)
+    )
+
+
+def profile_nonadult() -> SiteProfile:
+    """N-1: a *non-adult* control site for baseline comparisons.
+
+    The paper repeatedly contrasts adult traffic with "typical" web
+    content: classic 7-11pm diurnal peaks (citing prior literature),
+    longer sessions (e.g. ~2 minutes average on YouTube), word-of-mouth
+    popularity, and effective browser caching (Facebook serves >65% of
+    photo requests from browser caches, enabled by non-incognito
+    browsing).  This profile encodes that baseline so the adult-specific
+    shapes can be shown as *differences*, not absolutes.
+    """
+    return SiteProfile(
+        name="N-1",
+        kind=SiteKind.VIDEO,
+        paper_object_count=20_000,
+        paper_request_count=1_500_000,
+        paper_user_count=700_000,
+        object_mix={ContentCategory.VIDEO: 0.30, ContentCategory.IMAGE: 0.55, ContentCategory.OTHER: 0.15},
+        request_mix={ContentCategory.VIDEO: 0.45, ContentCategory.IMAGE: 0.45, ContentCategory.OTHER: 0.10},
+        device_mix={DeviceType.DESKTOP: 0.52, DeviceType.ANDROID: 0.26, DeviceType.IOS: 0.15, DeviceType.MISC: 0.07},
+        size_models={
+            ContentCategory.VIDEO: SizeModel(median_bytes=12_000_000, sigma=1.1),
+            ContentCategory.IMAGE: SizeModel(median_bytes=150_000, sigma=0.9, bimodal_split=0.5),
+            ContentCategory.OTHER: SizeModel(median_bytes=15_000, sigma=1.0),
+        },
+        zipf_exponent=1.0,
+        peak_local_hour=21,      # the classic 7-11pm evening peak
+        diurnal_amplitude=2.2,
+        trend_mix={
+            TrendClass.DIURNAL: 0.40,
+            TrendClass.LONG_LIVED: 0.30,
+            TrendClass.SHORT_LIVED: 0.15,
+            TrendClass.FLASH_CROWD: 0.10,  # viral word-of-mouth spikes
+            TrendClass.OUTLIER: 0.05,
+        },
+        session_single_fraction=0.15,   # engaged browsing, few bounces
+        session_mean_requests=6.0,
+        session_think_time_s=65.0,      # ~2 min+ sessions (YouTube-style)
+        sessions_per_user_week=2.0,
+        activity_sigma=1.0,
+        addiction_video=0.06,
+        addiction_image=0.02,
+        incognito_fraction=0.10,        # normal browsing: caches persist
+        cache_priority=1.0,
+    )
+
+
+def ALL_PROFILES() -> tuple[SiteProfile, ...]:
+    """Fresh instances of all five paper sites, in paper order.
+
+    The non-adult control site (:func:`profile_nonadult`) is intentionally
+    excluded — the paper's dataset covers adult publishers only; the
+    control exists for the baseline-comparison analyses.
+    """
+    return (profile_v1(), profile_v2(), profile_p1(), profile_p2(), profile_s1())
+
+
+def PROFILES_BY_NAME() -> dict[str, SiteProfile]:
+    """Name → profile map for all five paper sites."""
+    return {profile.name: profile for profile in ALL_PROFILES()}

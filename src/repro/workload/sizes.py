@@ -1,0 +1,112 @@
+"""Object-size models (Fig. 5 calibration).
+
+The paper observes: content sizes span a few KB to hundreds of MB; most
+requested video objects exceed 1 MB (tens of MB typical, P-2 largest);
+image objects are under 1 MB with *bi-modal* distributions (thumbnails vs
+full-resolution photos).  Section IV-B additionally notes that, among
+videos, diurnal-trend objects are the smallest, long-lived the largest,
+and short-lived in between.
+
+We model each (site, category) pair with a log-normal — the standard model
+for web object sizes — optionally mixed with a thumbnail mode for images,
+and apply a per-trend-class multiplier for video objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.sampling import make_rng
+from repro.types import ContentCategory, TrendClass
+from repro.workload.profiles import SizeModel
+
+#: Smallest/largest object we ever emit, matching the paper's "few KB to
+#: hundreds of MB" envelope.
+MIN_OBJECT_BYTES = 1_000
+MAX_OBJECT_BYTES = 800_000_000
+
+#: Video-size multipliers per trend class (Section IV-B: long-lived largest,
+#: short-lived next, diurnal smallest).
+VIDEO_TREND_SIZE_FACTOR = {
+    TrendClass.DIURNAL: 0.45,
+    TrendClass.LONG_LIVED: 2.2,
+    TrendClass.SHORT_LIVED: 1.3,
+    TrendClass.FLASH_CROWD: 1.0,
+    TrendClass.OUTLIER: 1.0,
+}
+
+
+def sample_object_size(
+    model: SizeModel,
+    category: ContentCategory,
+    trend: TrendClass,
+    rng: np.random.Generator | int | None = None,
+) -> int:
+    """Draw one object size in bytes from the model.
+
+    Images draw from the bi-modal mixture when ``model.bimodal_split > 0``;
+    videos apply the trend-class multiplier.  Results are clamped to the
+    global envelope so downstream byte accounting stays sane.
+    """
+    generator = make_rng(rng)
+    if category is ContentCategory.IMAGE and model.bimodal_split > 0 and generator.random() < model.bimodal_split:
+        median = model.thumb_median_bytes
+        sigma = model.thumb_sigma
+    else:
+        median = model.median_bytes
+        sigma = model.sigma
+    if category is ContentCategory.VIDEO:
+        median = median * VIDEO_TREND_SIZE_FACTOR[trend]
+    size = float(generator.lognormal(mean=np.log(median), sigma=sigma))
+    return int(np.clip(size, MIN_OBJECT_BYTES, MAX_OBJECT_BYTES))
+
+
+def sample_object_sizes(
+    model: SizeModel,
+    category: ContentCategory,
+    trends: list[TrendClass],
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Vectorised :func:`sample_object_size` for a list of objects."""
+    generator = make_rng(rng)
+    n = len(trends)
+    medians = np.full(n, model.median_bytes)
+    sigmas = np.full(n, model.sigma)
+    if category is ContentCategory.IMAGE and model.bimodal_split > 0:
+        thumbs = generator.random(n) < model.bimodal_split
+        medians[thumbs] = model.thumb_median_bytes
+        sigmas[thumbs] = model.thumb_sigma
+    if category is ContentCategory.VIDEO:
+        factors = np.array([VIDEO_TREND_SIZE_FACTOR[t] for t in trends])
+        medians = medians * factors
+    sizes = generator.lognormal(mean=np.log(medians), sigma=sigmas)
+    return np.clip(sizes, MIN_OBJECT_BYTES, MAX_OBJECT_BYTES).astype(np.int64)
+
+
+#: Representative file extensions per category, with rough prevalence.
+EXTENSION_CHOICES = {
+    ContentCategory.VIDEO: (("mp4", 0.55), ("flv", 0.25), ("wmv", 0.08), ("avi", 0.07), ("mpg", 0.05)),
+    ContentCategory.IMAGE: (("jpg", 0.60), ("gif", 0.20), ("png", 0.15), ("bmp", 0.03), ("tiff", 0.02)),
+    ContentCategory.OTHER: (("html", 0.30), ("js", 0.25), ("css", 0.20), ("xml", 0.10), ("json", 0.08), ("mp3", 0.07)),
+}
+
+
+def sample_extension(
+    category: ContentCategory,
+    rng: np.random.Generator | int | None = None,
+    prefer_gif: bool = False,
+) -> str:
+    """Draw a file extension for ``category``.
+
+    ``prefer_gif`` biases image draws towards GIF, modelling V-2's animated
+    hover-preview images (paper Section IV-A).
+    """
+    generator = make_rng(rng)
+    choices = EXTENSION_CHOICES[category]
+    names = [name for name, _ in choices]
+    weights = np.array([weight for _, weight in choices], dtype=float)
+    if prefer_gif and category is ContentCategory.IMAGE:
+        weights = weights.copy()
+        weights[names.index("gif")] = 1.5
+    weights = weights / weights.sum()
+    return names[int(generator.choice(len(names), p=weights))]

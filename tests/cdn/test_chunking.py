@@ -1,0 +1,108 @@
+"""Tests for video chunking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdn.chunking import Chunker
+from repro.errors import CdnError
+from repro.types import ContentCategory, TrendClass
+from repro.workload.catalog import ContentObject
+
+
+def make_object(category: ContentCategory, size: int) -> ContentObject:
+    ext = "mp4" if category is ContentCategory.VIDEO else "jpg"
+    return ContentObject(
+        object_id=f"{category.value}-{size}",
+        site="V-1",
+        category=category,
+        extension=ext,
+        size_bytes=size,
+        birth_time=0.0,
+        trend=TrendClass.DIURNAL,
+        popularity_weight=1.0,
+    )
+
+
+class TestChunker:
+    def test_positive_chunk_size_required(self):
+        with pytest.raises(CdnError):
+            Chunker(chunk_bytes=0)
+
+    def test_images_never_chunked(self):
+        chunker = Chunker(chunk_bytes=1000)
+        obj = make_object(ContentCategory.IMAGE, 50_000)
+        assert not chunker.is_chunked(obj)
+        assert chunker.chunk_count(obj) == 1
+
+    def test_small_video_unchunked(self):
+        chunker = Chunker(chunk_bytes=2_000_000)
+        obj = make_object(ContentCategory.VIDEO, 1_500_000)
+        assert not chunker.is_chunked(obj)
+
+    def test_chunk_count_rounds_up(self):
+        chunker = Chunker(chunk_bytes=1000)
+        obj = make_object(ContentCategory.VIDEO, 2500)
+        assert chunker.chunk_count(obj) == 3
+
+    def test_chunk_sizes_sum_to_object(self):
+        chunker = Chunker(chunk_bytes=1000)
+        obj = make_object(ContentCategory.VIDEO, 2500)
+        sizes = [chunker.chunk_size(obj, i) for i in range(3)]
+        assert sizes == [1000, 1000, 500]
+
+    def test_chunk_index_out_of_range(self):
+        chunker = Chunker(chunk_bytes=1000)
+        obj = make_object(ContentCategory.VIDEO, 2500)
+        with pytest.raises(CdnError):
+            chunker.chunk_size(obj, 3)
+
+    def test_all_chunks_cover_object(self):
+        chunker = Chunker(chunk_bytes=1000)
+        obj = make_object(ContentCategory.VIDEO, 5_300)
+        chunks = chunker.all_chunks(obj)
+        assert sum(c.size for c in chunks) == 5_300
+        assert [c.index for c in chunks] == list(range(6))
+
+    def test_chunk_keys_unique_and_derived(self):
+        chunker = Chunker(chunk_bytes=1000)
+        obj = make_object(ContentCategory.VIDEO, 3000)
+        keys = [c.key for c in chunker.all_chunks(obj)]
+        assert len(set(keys)) == 3
+        assert all(key.startswith(obj.object_id) for key in keys)
+
+    def test_range_maps_to_covering_chunks(self):
+        chunker = Chunker(chunk_bytes=1000)
+        obj = make_object(ContentCategory.VIDEO, 10_000)
+        chunks = chunker.chunks_for_range(obj, start=1500, length=2000)
+        assert [c.index for c in chunks] == [1, 2, 3]
+
+    def test_range_single_byte(self):
+        chunker = Chunker(chunk_bytes=1000)
+        obj = make_object(ContentCategory.VIDEO, 10_000)
+        chunks = chunker.chunks_for_range(obj, start=999, length=1)
+        assert [c.index for c in chunks] == [0]
+
+    def test_range_clamped_to_object_end(self):
+        chunker = Chunker(chunk_bytes=1000)
+        obj = make_object(ContentCategory.VIDEO, 2_500)
+        chunks = chunker.chunks_for_range(obj, start=2_000, length=99_999)
+        assert [c.index for c in chunks] == [2]
+
+    def test_invalid_ranges_rejected(self):
+        chunker = Chunker(chunk_bytes=1000)
+        obj = make_object(ContentCategory.VIDEO, 2_500)
+        with pytest.raises(CdnError):
+            chunker.chunks_for_range(obj, start=-1, length=10)
+        with pytest.raises(CdnError):
+            chunker.chunks_for_range(obj, start=2_500, length=10)
+        with pytest.raises(CdnError):
+            chunker.chunks_for_range(obj, start=0, length=0)
+
+    def test_unchunked_range_returns_whole_object(self):
+        chunker = Chunker(chunk_bytes=1_000_000)
+        obj = make_object(ContentCategory.IMAGE, 300)
+        chunks = chunker.chunks_for_range(obj, 100, 50)
+        assert len(chunks) == 1
+        assert chunks[0].key == obj.object_id
+        assert chunks[0].size == 300

@@ -1,0 +1,138 @@
+"""Behavioural tests for each cache replacement policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdn.cache import Cache
+from repro.cdn.policies import (
+    FifoPolicy,
+    GdsfPolicy,
+    LfuPolicy,
+    LruPolicy,
+    SlruPolicy,
+    make_policy,
+    policy_names,
+)
+from repro.errors import CachePolicyError
+
+
+class TestFactory:
+    def test_all_registered_names_construct(self):
+        for name in policy_names():
+            policy = make_policy(name)
+            assert policy.name == name
+
+    def test_case_insensitive(self):
+        assert make_policy("LRU").name == "lru"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CachePolicyError):
+            make_policy("belady")
+
+
+class TestLru:
+    def test_victim_is_least_recently_used(self):
+        policy = LruPolicy()
+        policy.on_insert("a", 1, 0.0)
+        policy.on_insert("b", 1, 1.0)
+        policy.on_hit("a", 2.0)
+        assert policy.victim() == "b"
+
+
+class TestFifo:
+    def test_hits_do_not_refresh(self):
+        policy = FifoPolicy()
+        policy.on_insert("a", 1, 0.0)
+        policy.on_insert("b", 1, 1.0)
+        policy.on_hit("a", 2.0)
+        assert policy.victim() == "a"
+
+
+class TestLfu:
+    def test_victim_is_least_frequent(self):
+        policy = LfuPolicy()
+        for key in ("a", "b"):
+            policy.on_insert(key, 1, 0.0)
+        policy.on_hit("a", 1.0)
+        policy.on_hit("a", 2.0)
+        policy.on_hit("b", 3.0)
+        assert policy.victim() == "b"
+
+    def test_tie_breaks_by_recency(self):
+        policy = LfuPolicy()
+        policy.on_insert("a", 1, 0.0)
+        policy.on_insert("b", 1, 1.0)
+        assert policy.victim() == "a"  # same count, older touch
+
+    def test_empty_victim_rejected(self):
+        with pytest.raises(CachePolicyError):
+            LfuPolicy().victim()
+
+    def test_lazy_heap_handles_eviction(self):
+        policy = LfuPolicy()
+        policy.on_insert("a", 1, 0.0)
+        policy.on_insert("b", 1, 1.0)
+        policy.on_hit("a", 2.0)
+        policy.on_evict("b")
+        assert policy.victim() == "a"
+
+
+class TestSlru:
+    def test_protected_fraction_bounds(self):
+        with pytest.raises(CachePolicyError):
+            SlruPolicy(protected_fraction=0.0)
+
+    def test_one_hit_wonder_evicted_before_proven_key(self):
+        policy = SlruPolicy()
+        policy.on_insert("proven", 1, 0.0)
+        policy.on_hit("proven", 1.0)       # promoted to protected
+        policy.on_insert("wonder", 1, 2.0)  # probation
+        assert policy.victim() == "wonder"
+
+    def test_falls_back_to_protected_when_probation_empty(self):
+        policy = SlruPolicy()
+        policy.on_insert("a", 1, 0.0)
+        policy.on_hit("a", 1.0)
+        assert policy.victim() == "a"
+
+    def test_protected_overflow_demotes(self):
+        policy = SlruPolicy(protected_fraction=0.5)
+        for i, key in enumerate(("a", "b", "c", "d")):
+            policy.on_insert(key, 1, float(i))
+        policy.on_hit("a", 10.0)
+        policy.on_hit("b", 11.0)
+        policy.on_hit("c", 12.0)  # protected limit 2 -> a demoted
+        # All keys still tracked.
+        assert len(policy) == 4
+
+
+class TestGdsf:
+    def test_prefers_evicting_large_cold_objects(self):
+        policy = GdsfPolicy()
+        policy.on_insert("small", 10, 0.0)
+        policy.on_insert("large", 10_000, 1.0)
+        assert policy.victim() == "large"
+
+    def test_frequency_rescues_large_objects(self):
+        policy = GdsfPolicy()
+        policy.on_insert("small", 10, 0.0)
+        policy.on_insert("large", 20, 1.0)
+        for t in range(2, 12):
+            policy.on_hit("large", float(t))
+        assert policy.victim() == "small"
+
+    def test_floor_ages_resident_entries(self):
+        cache = Cache(capacity_bytes=100, policy=GdsfPolicy())
+        # Fill with one old popular entry and churn many cold ones through.
+        cache.insert("old", 50, 0.0)
+        cache.lookup("old", 1.0)
+        for i in range(30):
+            cache.insert(f"cold{i}", 40, float(i + 2))
+        # The floor has risen past the old entry's static priority, so churn
+        # eventually displaces even the once-popular key.
+        assert cache.used_bytes <= 100
+
+    def test_empty_victim_rejected(self):
+        with pytest.raises(CachePolicyError):
+            GdsfPolicy().victim()

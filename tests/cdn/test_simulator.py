@@ -1,0 +1,142 @@
+"""Tests for the end-to-end CDN simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdn.simulator import CdnSimulator, SimulationConfig
+from repro.types import CacheStatus, ContentCategory, OBSERVED_STATUS_CODES
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import ALL_PROFILES, profile_v2
+from repro.workload.scale import ScaleConfig
+
+
+@pytest.fixture(scope="module")
+def v2_run():
+    """One simulated site: (workload, simulator, records)."""
+    generator = WorkloadGenerator(profiles=(profile_v2(),), scale=ScaleConfig.tiny(), seed=5)
+    workload = generator.generate_site(profile_v2())
+    simulator = CdnSimulator(profiles=(profile_v2(),), config=SimulationConfig(seed=6))
+    simulator.warm([workload.catalog])
+    records = list(simulator.run(iter(workload.requests)))
+    return workload, simulator, records
+
+
+class TestSimulatorOutput:
+    def test_emits_records_for_most_requests(self, v2_run):
+        workload, _, records = v2_run
+        # Some requests are served purely from browser caches (no record).
+        assert 0.5 * workload.request_count <= len(records) <= workload.request_count
+
+    def test_records_time_ordered(self, v2_run):
+        _, _, records = v2_run
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+
+    def test_status_codes_within_paper_set(self, v2_run):
+        _, _, records = v2_run
+        assert {r.status_code for r in records} <= set(OBSERVED_STATUS_CODES)
+
+    def test_200_dominates(self, v2_run):
+        _, _, records = v2_run
+        share_200 = sum(r.status_code == 200 for r in records) / len(records)
+        assert share_200 > 0.5
+
+    def test_user_ids_anonymized(self, v2_run):
+        workload, _, records = v2_run
+        raw_ids = {u.user_id for u in workload.population}
+        for record in records[:300]:
+            assert record.user_id not in raw_ids
+            assert record.user_id.startswith("u")
+
+    def test_object_ids_anonymized_but_stable(self, v2_run):
+        workload, _, records = v2_run
+        raw_ids = {o.object_id for o in workload.catalog}
+        seen: dict[str, str] = {}
+        for record in records[:500]:
+            assert record.object_id not in raw_ids
+            # same extension+size combination maps consistently
+        tokens = {r.object_id for r in records}
+        assert len(tokens) <= len(workload.catalog)
+
+    def test_bytes_served_zero_for_bodyless_codes(self, v2_run):
+        _, _, records = v2_run
+        for record in records:
+            if record.status_code in (204, 304, 403, 416):
+                assert record.bytes_served == 0
+
+    def test_206_only_for_video(self, v2_run):
+        _, _, records = v2_run
+        for record in records:
+            if record.status_code == 206:
+                assert record.category is ContentCategory.VIDEO
+
+    def test_metrics_match_records(self, v2_run):
+        _, simulator, records = v2_run
+        assert simulator.metrics.total_requests == len(records)
+        hit_records = sum(r.cache_status is CacheStatus.HIT for r in records)
+        hits_metric = sum(m.hits for m in simulator.metrics.sites.values())
+        assert hits_metric == hit_records
+
+    def test_datacenters_used_match_topology(self, v2_run):
+        _, simulator, records = v2_run
+        dc_ids = {r.datacenter for r in records}
+        assert dc_ids <= set(simulator.edges)
+        assert len(dc_ids) >= 2  # users span continents
+
+
+class TestWarm:
+    def test_warm_inserts_entries(self):
+        generator = WorkloadGenerator(profiles=(profile_v2(),), scale=ScaleConfig.tiny(), seed=5)
+        workload = generator.generate_site(profile_v2())
+        simulator = CdnSimulator(profiles=(profile_v2(),), config=SimulationConfig(seed=6))
+        inserted = simulator.warm([workload.catalog])
+        assert inserted > 0
+        for edge in simulator.edges.values():
+            assert sum(len(c) for c in edge.caches()) > 0
+
+    def test_warm_respects_fill_fraction(self):
+        generator = WorkloadGenerator(profiles=(profile_v2(),), scale=ScaleConfig.tiny(), seed=5)
+        workload = generator.generate_site(profile_v2())
+        config = SimulationConfig(seed=6, warm_fill_fraction=0.5, cache_capacity_bytes=10**9)
+        simulator = CdnSimulator(profiles=(profile_v2(),), config=config)
+        simulator.warm([workload.catalog])
+        for edge in simulator.edges.values():
+            for cache in edge.caches():
+                assert cache.used_bytes <= 0.5 * cache.capacity_bytes + 10**8
+
+
+class TestConfigVariants:
+    def _run(self, config: SimulationConfig) -> list:
+        generator = WorkloadGenerator(profiles=(profile_v2(),), scale=ScaleConfig.tiny(), seed=5)
+        workload = generator.generate_site(profile_v2())
+        simulator = CdnSimulator(profiles=(profile_v2(),), config=config)
+        return list(simulator.run(iter(workload.requests[:3000])))
+
+    def test_unified_cache_mode(self):
+        records = self._run(SimulationConfig(seed=1, split_small_object_cache=False))
+        assert records
+
+    def test_all_policies_run(self):
+        for policy in ("lru", "fifo", "lfu", "slru", "gdsf"):
+            records = self._run(SimulationConfig(seed=1, cache_policy=policy))
+            assert records
+
+    def test_zero_churn(self):
+        records = self._run(SimulationConfig(seed=1, background_churn_per_day=0.0))
+        assert records
+
+    def test_incognito_effect_on_304(self):
+        """With local serving disabled, non-incognito users revalidate more."""
+        config_reval = SimulationConfig(seed=2, browser_local_serve_prob=0.0)
+        records = self._run(config_reval)
+        conditional = sum(r.status_code == 304 for r in records)
+        config_local = SimulationConfig(seed=2, browser_local_serve_prob=1.0)
+        records_local = self._run(config_local)
+        conditional_local = sum(r.status_code == 304 for r in records_local)
+        assert conditional > conditional_local
+
+    def test_determinism(self):
+        a = self._run(SimulationConfig(seed=3))
+        b = self._run(SimulationConfig(seed=3))
+        assert a == b

@@ -1,0 +1,37 @@
+"""Shared fixtures: one tiny end-to-end pipeline run reused by many tests.
+
+The pipeline run is session-scoped — generating and simulating a trace
+takes a couple of seconds, and the analysis tests only read from it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import PipelineResult, run_pipeline
+from repro.workload.scale import ScaleConfig
+
+#: Seed used by the shared fixtures; individual tests that need their own
+#: randomness should derive from it rather than hard-coding new seeds.
+PIPELINE_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def pipeline_result() -> PipelineResult:
+    """A complete generate→simulate run at tiny scale."""
+    return run_pipeline(seed=PIPELINE_SEED, scale=ScaleConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def dataset(pipeline_result: PipelineResult):
+    return pipeline_result.dataset
+
+
+@pytest.fixture(scope="session")
+def catalogs(pipeline_result: PipelineResult):
+    return pipeline_result.catalogs
+
+
+@pytest.fixture(scope="session")
+def records(pipeline_result: PipelineResult):
+    return pipeline_result.records

@@ -1,0 +1,139 @@
+"""Tests for the aggregate analyses (Figs. 1-4), on the shared pipeline run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import (
+    content_composition,
+    device_composition,
+    hourly_volume,
+    traffic_composition,
+)
+from repro.types import ContentCategory, DeviceType
+
+
+class TestContentComposition:
+    def test_from_catalogs_matches_catalog_counts(self, dataset, catalogs):
+        result = content_composition(dataset, catalogs)
+        for site, catalog in catalogs.items():
+            for category, count in catalog.category_counts().items():
+                assert result.row(site, category).objects == count
+
+    def test_from_logs_counts_distinct_objects(self, dataset):
+        result = content_composition(dataset)
+        observed = sum(row.objects for row in result.rows)
+        assert observed == len(dataset.object_stats)
+
+    def test_v1_video_dominated(self, dataset, catalogs):
+        result = content_composition(dataset, catalogs)
+        assert result.share("V-1", ContentCategory.VIDEO, "objects") > 0.9
+
+    def test_image_sites_image_dominated(self, dataset, catalogs):
+        result = content_composition(dataset, catalogs)
+        for site in ("P-1", "P-2", "S-1"):
+            assert result.share(site, ContentCategory.IMAGE, "objects") > 0.9
+
+    def test_all_site_category_rows_exist(self, dataset, catalogs):
+        result = content_composition(dataset, catalogs)
+        for site in result.sites():
+            for category in ContentCategory:
+                result.row(site, category)  # must not raise
+
+    def test_missing_row_raises(self, dataset):
+        result = content_composition(dataset)
+        with pytest.raises(KeyError):
+            result.row("NOPE", ContentCategory.VIDEO)
+
+
+class TestTrafficComposition:
+    def test_request_totals_match_object_stats(self, dataset):
+        result = traffic_composition(dataset)
+        assert sum(r.requests for r in result.rows) == sum(
+            s.requests for s in dataset.object_stats.values()
+        )
+
+    def test_multimedia_dominates_every_site(self, dataset):
+        # Paper: video+image account for (nearly) all requests.
+        result = traffic_composition(dataset)
+        for site in result.sites():
+            multimedia = (
+                result.share(site, ContentCategory.VIDEO, "requests")
+                + result.share(site, ContentCategory.IMAGE, "requests")
+            )
+            assert multimedia > 0.9
+
+    def test_video_dominates_bytes_on_video_sites(self, dataset):
+        # Paper Fig. 2(b): video accounts for disproportionately more bytes.
+        result = traffic_composition(dataset)
+        for site in ("V-1", "V-2"):
+            assert result.share(site, ContentCategory.VIDEO, "bytes_requested") > 0.8
+
+    def test_video_byte_share_exceeds_request_share(self, dataset):
+        result = traffic_composition(dataset)
+        for site in ("V-2", "P-1", "S-1"):
+            byte_share = result.share(site, ContentCategory.VIDEO, "bytes_requested")
+            request_share = result.share(site, ContentCategory.VIDEO, "requests")
+            if request_share > 0:
+                assert byte_share > request_share
+
+
+class TestHourlyVolume:
+    def test_series_total_matches_records(self, dataset):
+        result = hourly_volume(dataset, local_time=False)
+        total = sum(series.total for series in result.series.values())
+        assert total == len(dataset)
+
+    def test_percentage_series_sums_to_100(self, dataset):
+        result = hourly_volume(dataset)
+        for site in dataset.sites:
+            assert result.percentage_series(site).total == pytest.approx(100.0)
+
+    def test_v1_peaks_late_night(self, dataset):
+        # Paper Fig. 3: V-1 peaks late-night/early-morning (local time).
+        result = hourly_volume(dataset)
+        peak = result.peak_hour("V-1")
+        assert peak in (22, 23, 0, 1, 2, 3, 4, 5)
+
+    def test_by_bytes_mode(self, dataset):
+        result = hourly_volume(dataset, by_bytes=True)
+        total_bytes = sum(r.bytes_served for r in dataset.records)
+        assert sum(series.total for series in result.series.values()) == pytest.approx(total_bytes)
+
+    def test_diurnality_positive(self, dataset):
+        result = hourly_volume(dataset)
+        for site in dataset.sites:
+            assert result.diurnality(site) >= 1.0
+
+
+class TestDeviceComposition:
+    def test_counts_unique_users(self, dataset):
+        result = device_composition(dataset)
+        total = sum(sum(site_counts.values()) for site_counts in result.counts.values())
+        assert total == len(dataset.users_of())
+
+    def test_desktop_dominates_everywhere(self, dataset):
+        # Paper Fig. 4: desktop is the largest category on every site.
+        result = device_composition(dataset)
+        for site in dataset.sites:
+            desktop = result.share(site, DeviceType.DESKTOP)
+            for device in DeviceType:
+                if device is not DeviceType.DESKTOP:
+                    assert desktop > result.share(site, device)
+
+    def test_v2_overwhelmingly_desktop(self, dataset):
+        result = device_composition(dataset)
+        assert result.share("V-2", DeviceType.DESKTOP) > 0.9
+
+    def test_s1_most_mobile(self, dataset):
+        # Paper: S-1 has the largest smartphone+misc share.
+        result = device_composition(dataset)
+        s1 = result.mobile_share("S-1")
+        for site in dataset.sites:
+            if site != "S-1":
+                assert result.mobile_share(site) < s1 + 0.05
+
+    def test_shares_sum_to_one(self, dataset):
+        result = device_composition(dataset)
+        for site in dataset.sites:
+            assert sum(result.share(site, d) for d in DeviceType) == pytest.approx(1.0)

@@ -1,0 +1,93 @@
+"""Tests for the caching analyses (Figs. 15-16)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.caching import hit_ratio_analysis, response_code_analysis
+from repro.types import ContentCategory, OBSERVED_STATUS_CODES
+
+
+class TestHitRatioAnalysis:
+    def test_ratios_within_unit_interval(self, dataset):
+        for category in (ContentCategory.VIDEO, ContentCategory.IMAGE):
+            result = hit_ratio_analysis(dataset, category)
+            for cdf in result.cdfs.values():
+                assert cdf.min >= 0.0
+                assert cdf.max <= 1.0
+
+    def test_image_beats_video_per_site(self, dataset):
+        # Paper Fig. 15: image objects cache better than video objects.
+        video = hit_ratio_analysis(dataset, ContentCategory.VIDEO)
+        image = hit_ratio_analysis(dataset, ContentCategory.IMAGE)
+        comparable = [
+            site
+            for site in dataset.sites
+            if site in video.overall_hit_ratio
+            and site in image.overall_hit_ratio
+            and len(video.cdfs[site]) >= 10
+        ]
+        assert comparable, "no site with enough video objects to compare"
+        better = sum(
+            image.overall_hit_ratio[site] > video.overall_hit_ratio[site] for site in comparable
+        )
+        assert better == len(comparable)
+
+    def test_popularity_correlates_with_hit_ratio(self, dataset):
+        # Paper: popular objects have higher hit ratios.
+        video = hit_ratio_analysis(dataset, ContentCategory.VIDEO)
+        for site in ("V-1", "V-2"):
+            assert video.popularity_correlation[site] > 0.3
+
+    def test_overall_hit_ratio_request_weighted(self, dataset):
+        result = hit_ratio_analysis(dataset, ContentCategory.VIDEO)
+        for site, ratio in result.overall_hit_ratio.items():
+            objects = [s for s in dataset.objects_of(site, ContentCategory.VIDEO) if s.hits + s.misses > 0]
+            hits = sum(s.hits for s in objects)
+            lookups = sum(s.hits + s.misses for s in objects)
+            assert ratio == pytest.approx(hits / lookups)
+
+    def test_cached_fraction_bounds(self, dataset):
+        result = hit_ratio_analysis(dataset, ContentCategory.IMAGE)
+        for fraction in result.cached_fraction.values():
+            assert 0.0 <= fraction <= 1.0
+
+    def test_pearson_mode(self, dataset):
+        result = hit_ratio_analysis(dataset, ContentCategory.VIDEO, correlation="pearson")
+        assert "V-1" in result.popularity_correlation
+
+
+class TestResponseCodes:
+    def test_counts_cover_every_record(self, dataset):
+        result = response_code_analysis(dataset)
+        total = sum(
+            count
+            for per_site in result.counts.values()
+            for counter in per_site.values()
+            for count in counter.values()
+        )
+        assert total == len(dataset)
+
+    def test_only_paper_codes_observed(self, dataset):
+        result = response_code_analysis(dataset)
+        assert set(result.observed_codes()) <= set(OBSERVED_STATUS_CODES)
+
+    def test_200_dominates_every_site(self, dataset):
+        result = response_code_analysis(dataset)
+        for site in dataset.sites:
+            assert result.code_share(site, 200) > 0.5
+
+    def test_304_share_small(self, dataset):
+        # Paper Section V: 304s are rare for adult sites (incognito use).
+        result = response_code_analysis(dataset)
+        for site in dataset.sites:
+            assert result.code_share(site, 304) < 0.08
+
+    def test_206_mostly_on_video_sites(self, dataset):
+        result = response_code_analysis(dataset)
+        assert result.code_share("V-1", 206) > result.code_share("P-1", 206)
+
+    def test_category_panel_extraction(self, dataset):
+        result = response_code_analysis(dataset)
+        video_panel = result.category_counts(ContentCategory.VIDEO)
+        assert sum(video_panel["V-1"].values()) > 0

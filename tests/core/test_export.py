@@ -1,0 +1,77 @@
+"""Tests for the per-figure CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.core.export import export_report
+from repro.core.report import Study
+
+
+@pytest.fixture(scope="module")
+def report(dataset, catalogs):
+    return Study(max_cluster_objects=25).run(dataset, catalogs)
+
+
+@pytest.fixture(scope="module")
+def exported(report, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("figures")
+    paths = export_report(report, directory)
+    return directory, paths
+
+
+class TestExportReport:
+    def test_every_figure_has_a_file(self, exported):
+        _, paths = exported
+        names = {path.name for path in paths}
+        for figure in (1, 2, 3, 4, 7, 16):
+            assert any(f"fig{figure:02d}" in name for name in names), figure
+        assert "fig05a_video_sizes.csv" in names
+        assert "fig06b_image_popularity.csv" in names
+        assert "fig11_interarrival.csv" in names
+        assert "fig12_session_lengths.csv" in names
+        assert "fig13_repeated_access.csv" in names
+        assert "fig14a_video_addiction.csv" in names
+        assert "fig15a_image_hit_ratios.csv" in names
+
+    def test_files_parse_as_csv_with_headers(self, exported):
+        directory, paths = exported
+        for path in paths:
+            with open(path, newline="") as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 2, path.name
+            header, first = rows[0], rows[1]
+            assert len(header) == len(first), path.name
+
+    def test_hourly_volume_covers_all_hours(self, exported, report):
+        directory, _ = exported
+        with open(directory / "fig03_hourly_volume.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        sites = {row["site"] for row in rows}
+        assert sites == set(report.hourly_volume.series)
+        hours = {int(row["hour"]) for row in rows if row["site"] in sites}
+        assert max(hours) >= 167
+
+    def test_cdf_columns_monotone(self, exported):
+        directory, _ = exported
+        with open(directory / "fig05a_video_sizes.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        by_site: dict[str, list[float]] = {}
+        for row in rows:
+            by_site.setdefault(row["site"], []).append(float(row["cdf"]))
+        for site, values in by_site.items():
+            assert values == sorted(values), site
+
+    def test_response_codes_sum_to_record_count(self, exported, dataset):
+        directory, _ = exported
+        with open(directory / "fig16_response_codes.csv", newline="") as handle:
+            total = sum(int(row["count"]) for row in csv.DictReader(handle))
+        assert total == len(dataset)
+
+    def test_directory_created(self, report, tmp_path):
+        target = tmp_path / "does" / "not" / "exist"
+        paths = export_report(report, target)
+        assert target.is_dir()
+        assert paths

@@ -1,0 +1,139 @@
+"""Tests for the hourly traffic forecasting module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.forecasting import (
+    ForecastEvaluation,
+    GenericDiurnalForecaster,
+    SeasonalProfileForecaster,
+    evaluate_forecaster,
+    mean_absolute_percentage_error,
+    provisioning_level,
+    root_mean_squared_error,
+)
+from repro.errors import AnalysisError
+from repro.stats.timeseries import HourlyTimeSeries
+from repro.workload.temporal import daily_cycle
+
+
+def synthetic_series(peak_hour: int, amplitude: float, level: float = 100.0, days: int = 7) -> np.ndarray:
+    profile = daily_cycle(peak_hour, amplitude)
+    return level * np.tile(profile, days)
+
+
+class TestErrorMetrics:
+    def test_mape_zero_for_perfect_forecast(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        assert mean_absolute_percentage_error(actual, actual) == 0.0
+
+    def test_mape_ignores_zero_hours(self):
+        actual = np.array([0.0, 10.0])
+        predicted = np.array([5.0, 11.0])
+        assert mean_absolute_percentage_error(actual, predicted) == pytest.approx(0.1)
+
+    def test_mape_all_zero_is_nan(self):
+        assert np.isnan(mean_absolute_percentage_error(np.zeros(3), np.ones(3)))
+
+    def test_rmse(self):
+        assert root_mean_squared_error(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+
+class TestForecasters:
+    def test_generic_fits_level_only(self):
+        history = np.full(48, 50.0)
+        forecaster = GenericDiurnalForecaster().fit(history)
+        prediction = forecaster.predict(24, start_hour=48)
+        assert prediction.mean() == pytest.approx(50.0, rel=0.01)
+        assert int(np.argmax(prediction)) == 21  # evening peak baked in
+
+    def test_generic_empty_history_rejected(self):
+        with pytest.raises(AnalysisError):
+            GenericDiurnalForecaster().fit(np.array([]))
+
+    def test_seasonal_learns_shape(self):
+        series = synthetic_series(peak_hour=3, amplitude=2.5)
+        forecaster = SeasonalProfileForecaster().fit(series[:120])
+        prediction = forecaster.predict(24, start_hour=120)
+        assert int(np.argmax(prediction)) == 3
+
+    def test_seasonal_needs_a_day(self):
+        with pytest.raises(AnalysisError):
+            SeasonalProfileForecaster().fit(np.ones(20))
+
+    def test_seasonal_flat_history(self):
+        forecaster = SeasonalProfileForecaster().fit(np.zeros(48))
+        prediction = forecaster.predict(10, start_hour=48)
+        assert np.all(prediction == 0.0)
+
+    def test_predict_aligns_to_start_hour(self):
+        series = synthetic_series(peak_hour=6, amplitude=3.0)
+        forecaster = SeasonalProfileForecaster().fit(series[:96])
+        # Start mid-day: the first predicted peak lands at absolute hour 102.
+        prediction = forecaster.predict(48, start_hour=96)
+        peaks = np.argsort(prediction)[-2:] + 96
+        assert all(p % 24 == 6 for p in peaks)
+
+
+class TestEvaluate:
+    def test_split_validated(self):
+        series = HourlyTimeSeries.from_values(np.ones(48))
+        with pytest.raises(AnalysisError):
+            evaluate_forecaster(SeasonalProfileForecaster(), series, train_hours=48)
+
+    def test_matched_model_beats_generic_on_antidiurnal(self):
+        # The paper's point: an anti-diurnal (V-1 style) series defeats the
+        # generic evening-peak model but not a site-specific profile.
+        rng = np.random.default_rng(0)
+        series = synthetic_series(peak_hour=2, amplitude=3.0) * rng.uniform(0.9, 1.1, size=168)
+        generic = evaluate_forecaster(GenericDiurnalForecaster(), series, train_hours=120)
+        specific = evaluate_forecaster(SeasonalProfileForecaster(), series, train_hours=120)
+        assert specific.mape < generic.mape
+        assert specific.rmse < generic.rmse
+
+    def test_generic_fine_on_generic_traffic(self):
+        rng = np.random.default_rng(1)
+        series = synthetic_series(peak_hour=21, amplitude=2.2) * rng.uniform(0.95, 1.05, size=168)
+        generic = evaluate_forecaster(GenericDiurnalForecaster(), series, train_hours=120)
+        assert generic.mape < 0.1
+
+    def test_evaluation_record_fields(self):
+        series = synthetic_series(peak_hour=5, amplitude=2.0)
+        result = evaluate_forecaster(SeasonalProfileForecaster(), series, train_hours=120)
+        assert isinstance(result, ForecastEvaluation)
+        assert result.horizon_hours == 48
+        assert result.forecaster == "site-profile"
+
+
+class TestProvisioning:
+    def test_flat_series(self):
+        assert provisioning_level(np.full(100, 7.0)) == 7.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(AnalysisError):
+            provisioning_level(np.ones(10), percentile=0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            provisioning_level(np.array([]))
+
+    def test_peaked_series_needs_more_capacity(self):
+        flat = synthetic_series(peak_hour=0, amplitude=1.0)
+        peaked = synthetic_series(peak_hour=0, amplitude=3.0)
+        assert provisioning_level(peaked) > provisioning_level(flat)
+
+    def test_accepts_hourly_time_series(self):
+        series = HourlyTimeSeries.from_values(np.arange(168, dtype=float))
+        assert provisioning_level(series, percentile=1.0) == 167.0
+
+    def test_complementary_peaks_share_capacity(self):
+        # Adult (late-night) + classic (evening) traffic on shared links:
+        # combined provisioning is below the sum of individual levels.
+        adult = synthetic_series(peak_hour=2, amplitude=3.0)
+        classic = synthetic_series(peak_hour=21, amplitude=3.0)
+        combined = provisioning_level(adult + classic)
+        assert combined < provisioning_level(adult) + provisioning_level(classic)

@@ -1,0 +1,60 @@
+"""Tests for the full-study driver and its text report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import Study
+from repro.errors import EmptyDatasetError
+from repro.core.dataset import TraceDataset
+from repro.types import ContentCategory
+
+
+@pytest.fixture(scope="module")
+def report(dataset, catalogs):
+    return Study(max_cluster_objects=30).run(dataset, catalogs)
+
+
+class TestStudy:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            Study().run(TraceDataset())
+
+    def test_all_sections_populated(self, report, dataset):
+        assert report.content_composition.rows
+        assert report.traffic_composition.rows
+        assert set(report.hourly_volume.series) == set(dataset.sites)
+        assert report.device_composition.counts
+        assert report.video_sizes.cdfs
+        assert report.image_sizes.cdfs
+        assert report.age_survival.fractions
+        assert report.iat.cdfs
+        assert report.sessions.cdfs
+        assert report.response_codes.counts
+
+    def test_clustering_defaults_to_paper_sites(self, report):
+        assert ("V-2", "video") in report.clustering
+        assert ("P-2", "image") in report.clustering
+
+    def test_clustering_can_be_disabled(self, dataset, catalogs):
+        quick = Study(run_clustering=False).run(dataset, catalogs)
+        assert quick.clustering == {}
+
+    def test_custom_cluster_targets(self, dataset, catalogs):
+        study = Study(cluster_sites=[("V-1", ContentCategory.VIDEO)], max_cluster_objects=20)
+        result = study.run(dataset, catalogs)
+        assert ("V-1", "video") in result.clustering
+
+    def test_scatter_extras_present(self, report):
+        assert "scatter:V-1" in report.extras
+        assert "scatter:P-1" in report.extras
+
+    def test_render_text_contains_every_figure(self, report):
+        text = report.render_text()
+        for figure in range(1, 17):
+            assert f"Fig {figure}" in text or f"Fig {figure}:" in text or f"Fig {figure}/" in text, figure
+
+    def test_render_text_mentions_all_sites(self, report, dataset):
+        text = report.render_text()
+        for site in dataset.sites:
+            assert site in text

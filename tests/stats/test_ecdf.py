@@ -1,0 +1,124 @@
+"""Unit and property tests for the empirical CDF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EmptyDatasetError
+from repro.stats.ecdf import EmpiricalCDF
+
+finite_floats = st.floats(min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False)
+samples = st.lists(finite_floats, min_size=1, max_size=200)
+
+
+class TestConstruction:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            EmpiricalCDF([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0, float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0, float("inf")])
+
+    def test_accepts_numpy_array(self):
+        cdf = EmpiricalCDF(np.array([3.0, 1.0, 2.0]))
+        assert len(cdf) == 3
+        assert cdf.min == 1.0
+
+    def test_sample_is_readonly(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cdf.sample[0] = 99.0
+
+
+class TestEvaluate:
+    def test_known_values(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 2.0, 10.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(1.0) == 0.25
+        assert cdf.evaluate(2.0) == 0.75
+        assert cdf.evaluate(10.0) == 1.0
+        assert cdf.evaluate(11.0) == 1.0
+
+    def test_evaluate_many_matches_scalar(self):
+        cdf = EmpiricalCDF([5, 1, 3, 3, 8])
+        xs = [-1, 1, 3, 4, 8, 100]
+        np.testing.assert_allclose(cdf.evaluate_many(xs), [cdf.evaluate(x) for x in xs])
+
+    def test_fraction_above_complements_evaluate(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        assert cdf.fraction_above(2) == pytest.approx(1.0 - cdf.evaluate(2))
+
+
+class TestQuantile:
+    def test_median_of_odd_sample(self):
+        assert EmpiricalCDF([3, 1, 2]).median == 2
+
+    def test_extremes(self):
+        cdf = EmpiricalCDF([4, 7, 9])
+        assert cdf.quantile(0.0) == 4
+        assert cdf.quantile(1.0) == 9
+
+    def test_out_of_range_rejected(self):
+        cdf = EmpiricalCDF([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+        with pytest.raises(ValueError):
+            cdf.quantile(-0.1)
+
+    @given(samples, st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_inverts_evaluate(self, sample, q):
+        cdf = EmpiricalCDF(sample)
+        x = cdf.quantile(q)
+        # By definition of the generalised inverse: F(x) >= q.
+        assert cdf.evaluate(x) >= q - 1e-12
+
+
+class TestProperties:
+    @given(samples)
+    def test_monotone_nondecreasing(self, sample):
+        cdf = EmpiricalCDF(sample)
+        xs = sorted(sample)
+        values = [cdf.evaluate(x) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(samples)
+    def test_bounds(self, sample):
+        cdf = EmpiricalCDF(sample)
+        assert cdf.evaluate(cdf.min - 1) == 0.0
+        assert cdf.evaluate(cdf.max) == 1.0
+
+    @given(samples)
+    def test_series_is_valid_cdf_curve(self, sample):
+        xs, ys = EmpiricalCDF(sample).series()
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ys) >= 0)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_series_subsampling_keeps_endpoints(self):
+        cdf = EmpiricalCDF(np.arange(1000))
+        xs, ys = cdf.series(max_points=10)
+        assert xs.size <= 10
+        assert xs[0] == cdf.min
+        assert xs[-1] == cdf.max
+
+
+class TestBimodality:
+    def test_bimodal_mixture_detected(self):
+        rng = np.random.default_rng(0)
+        small = rng.lognormal(np.log(20_000), 0.4, size=500)
+        large = rng.lognormal(np.log(400_000), 0.4, size=500)
+        cdf = EmpiricalCDF(np.concatenate([small, large]))
+        assert cdf.is_bimodal(split=80_000)
+
+    def test_unimodal_not_detected(self):
+        rng = np.random.default_rng(0)
+        cdf = EmpiricalCDF(rng.lognormal(np.log(100_000), 0.2, size=1000))
+        assert not cdf.is_bimodal(split=100_000)

@@ -1,0 +1,99 @@
+"""Tests for linear and logarithmic histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.stats.histogram import LinearHistogram, LogHistogram
+
+
+class TestLinearHistogram:
+    def test_bad_range_rejected(self):
+        with pytest.raises(ConfigError):
+            LinearHistogram(low=5, high=5, bins=3)
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ConfigError):
+            LinearHistogram(low=0, high=1, bins=0)
+
+    def test_binning(self):
+        hist = LinearHistogram(low=0, high=10, bins=10)
+        for value in (0, 0.5, 3.3, 9.99):
+            hist.add(value)
+        assert hist.counts[0] == 2
+        assert hist.counts[3] == 1
+        assert hist.counts[9] == 1
+
+    def test_under_and_overflow(self):
+        hist = LinearHistogram(low=0, high=10, bins=5)
+        hist.add(-1)
+        hist.add(10)
+        hist.add(100)
+        assert hist.underflow == 1
+        assert hist.overflow == 2
+        assert hist.total == 3
+
+    def test_weighted_counts(self):
+        hist = LinearHistogram(low=0, high=10, bins=2)
+        hist.add(1, count=5)
+        assert hist.counts[0] == 5
+
+    def test_normalized_sums_to_bin_mass(self):
+        hist = LinearHistogram(low=0, high=4, bins=4)
+        hist.extend([0, 1, 2, 3])
+        np.testing.assert_allclose(hist.normalized().sum(), 1.0)
+
+    def test_normalized_empty_is_zero(self):
+        hist = LinearHistogram(low=0, high=4, bins=4)
+        assert hist.normalized().sum() == 0.0
+
+    @given(st.lists(st.floats(min_value=-100, max_value=200, allow_nan=False), max_size=100))
+    def test_no_observation_lost(self, values):
+        hist = LinearHistogram(low=0, high=100, bins=7)
+        hist.extend(values)
+        assert hist.total == len(values)
+
+
+class TestLogHistogram:
+    def test_requires_positive_range(self):
+        with pytest.raises(ConfigError):
+            LogHistogram(low=0, high=10)
+
+    def test_bin_edges_are_geometric(self):
+        hist = LogHistogram(low=1, high=1000, bins_per_decade=1)
+        np.testing.assert_allclose(hist.bin_edges(), [1, 10, 100, 1000])
+
+    def test_binning_across_decades(self):
+        hist = LogHistogram(low=1, high=10_000, bins_per_decade=1)
+        hist.extend([2, 20, 200, 2000])
+        np.testing.assert_array_equal(hist.counts, [1, 1, 1, 1])
+
+    def test_quantile_monotone(self):
+        hist = LogHistogram(low=1, high=1e6, bins_per_decade=5)
+        rng = np.random.default_rng(1)
+        hist.extend(rng.lognormal(np.log(1000), 1.0, size=2000))
+        qs = [hist.quantile(q) for q in (0.1, 0.5, 0.9)]
+        assert qs[0] <= qs[1] <= qs[2]
+
+    def test_quantile_accuracy(self):
+        hist = LogHistogram(low=1, high=1e6, bins_per_decade=20)
+        rng = np.random.default_rng(2)
+        sample = rng.lognormal(np.log(5000), 0.8, size=5000)
+        hist.extend(sample)
+        estimate = hist.quantile(0.5)
+        true = float(np.median(sample))
+        assert abs(np.log10(estimate) - np.log10(true)) < 0.1
+
+    def test_quantile_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram(low=1, high=10).quantile(0.5)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e9, allow_nan=False), max_size=100))
+    def test_no_observation_lost(self, values):
+        hist = LogHistogram(low=1, high=1e6)
+        hist.extend(values)
+        assert hist.total == len(values)

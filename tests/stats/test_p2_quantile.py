@@ -1,0 +1,69 @@
+"""Tests for the P² streaming quantile estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.streaming import P2Quantile
+
+
+class TestP2Quantile:
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).value
+
+    def test_exact_under_five_samples(self):
+        estimator = P2Quantile(0.5)
+        estimator.extend([3.0, 1.0, 2.0])
+        assert estimator.value == 2.0
+
+    def test_median_of_uniform(self):
+        rng = np.random.default_rng(0)
+        sample = rng.random(50_000)
+        estimator = P2Quantile(0.5)
+        estimator.extend(sample)
+        assert estimator.value == pytest.approx(0.5, abs=0.02)
+
+    def test_p90_of_normal(self):
+        rng = np.random.default_rng(1)
+        sample = rng.normal(size=50_000)
+        estimator = P2Quantile(0.9)
+        estimator.extend(sample)
+        true = float(np.quantile(sample, 0.9))
+        assert estimator.value == pytest.approx(true, abs=0.05)
+
+    def test_heavy_tailed_median(self):
+        rng = np.random.default_rng(2)
+        sample = rng.lognormal(mean=10, sigma=1.5, size=50_000)
+        estimator = P2Quantile(0.5)
+        estimator.extend(sample)
+        true = float(np.median(sample))
+        assert estimator.value == pytest.approx(true, rel=0.1)
+
+    def test_estimate_within_observed_range(self):
+        rng = np.random.default_rng(3)
+        sample = rng.exponential(size=2_000)
+        estimator = P2Quantile(0.25)
+        estimator.extend(sample)
+        assert sample.min() <= estimator.value <= sample.max()
+
+    def test_count_tracks_stream(self):
+        estimator = P2Quantile(0.5)
+        estimator.extend(range(100))
+        assert estimator.count == 100
+
+    def test_multiple_quantiles_ordered(self):
+        rng = np.random.default_rng(4)
+        sample = rng.normal(size=20_000)
+        estimators = [P2Quantile(q) for q in (0.1, 0.5, 0.9)]
+        for estimator in estimators:
+            estimator.extend(sample)
+        values = [estimator.value for estimator in estimators]
+        assert values[0] < values[1] < values[2]

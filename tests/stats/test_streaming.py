@@ -1,0 +1,100 @@
+"""Tests for streaming moments and space-saving top-k."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.streaming import SpaceSavingTopK, StreamingMoments
+
+value_lists = st.lists(st.floats(min_value=-1e8, max_value=1e8, allow_nan=False), min_size=1, max_size=200)
+
+
+class TestStreamingMoments:
+    def test_empty_defaults(self):
+        moments = StreamingMoments()
+        assert moments.count == 0
+        assert moments.mean == 0.0
+        assert moments.variance == 0.0
+
+    @given(value_lists)
+    def test_matches_numpy(self, values):
+        moments = StreamingMoments()
+        moments.extend(values)
+        arr = np.asarray(values)
+        assert moments.count == arr.size
+        assert moments.mean == pytest.approx(arr.mean(), rel=1e-9, abs=1e-6)
+        assert moments.variance == pytest.approx(arr.var(), rel=1e-6, abs=1e-4)
+        assert moments.min == arr.min()
+        assert moments.max == arr.max()
+
+    @given(value_lists, value_lists)
+    def test_merge_equals_concatenation(self, left, right):
+        a = StreamingMoments()
+        a.extend(left)
+        b = StreamingMoments()
+        b.extend(right)
+        merged = a.merge(b)
+        both = StreamingMoments()
+        both.extend(left + right)
+        assert merged.count == both.count
+        assert merged.mean == pytest.approx(both.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(both.variance, rel=1e-6, abs=1e-4)
+
+    def test_merge_with_empty(self):
+        a = StreamingMoments()
+        a.extend([1.0, 2.0])
+        merged = a.merge(StreamingMoments())
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+
+
+class TestSpaceSavingTopK:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            SpaceSavingTopK(0)
+
+    def test_exact_when_under_capacity(self):
+        topk = SpaceSavingTopK(10)
+        topk.extend(["a", "b", "a", "c", "a"])
+        assert topk.top(1) == [("a", 3)]
+        assert topk.guaranteed_count("a") == 3
+
+    def test_never_exceeds_capacity(self):
+        topk = SpaceSavingTopK(5)
+        topk.extend(str(i) for i in range(100))
+        assert len(topk) == 5
+
+    def test_heavy_hitter_guarantee(self):
+        # A key with frequency > N/capacity must be tracked.
+        topk = SpaceSavingTopK(10)
+        rng = np.random.default_rng(0)
+        stream = ["hot"] * 400 + [f"cold{i}" for i in rng.integers(0, 500, size=600)]
+        rng.shuffle(stream)
+        topk.extend(stream)
+        assert "hot" in topk
+        key, estimate = topk.top(1)[0]
+        assert key == "hot"
+        assert estimate >= 400  # overestimates, never under
+
+    def test_estimate_never_underestimates(self):
+        topk = SpaceSavingTopK(3)
+        stream = ["a"] * 10 + ["b"] * 8 + ["c"] * 5 + ["d", "e", "f"]
+        topk.extend(stream)
+        for key, true in (("a", 10), ("b", 8)):
+            tracked = dict(topk.top())
+            if key in tracked:
+                assert tracked[key] >= true
+
+    def test_total_counts_stream_length(self):
+        topk = SpaceSavingTopK(2)
+        topk.extend(["x"] * 7)
+        topk.add("y", count=3)
+        assert topk.total == 10
+
+    def test_guaranteed_count_of_untracked_is_zero(self):
+        topk = SpaceSavingTopK(2)
+        topk.extend(["a", "b"])
+        assert topk.guaranteed_count("zzz") == 0

@@ -1,0 +1,111 @@
+"""Tests for hourly time series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.stats.timeseries import HourlyTimeSeries, diurnality_index
+
+
+class TestConstruction:
+    def test_default_is_one_week(self):
+        assert HourlyTimeSeries().hours == 168
+
+    def test_zero_hours_rejected(self):
+        with pytest.raises(ConfigError):
+            HourlyTimeSeries(hours=0)
+
+    def test_values_length_checked(self):
+        with pytest.raises(ConfigError):
+            HourlyTimeSeries(hours=5, values=[1, 2, 3])
+
+    def test_from_values(self):
+        series = HourlyTimeSeries.from_values([1.0, 2.0, 3.0])
+        assert series.hours == 3
+        assert series.total == 6.0
+
+
+class TestFromTimestamps:
+    def test_bins_by_hour(self):
+        series = HourlyTimeSeries.from_timestamps([0.0, 10.0, 3600.0, 7200.0], hours=3)
+        np.testing.assert_array_equal(series.values, [2, 1, 1])
+
+    def test_weights(self):
+        series = HourlyTimeSeries.from_timestamps([0.0, 3600.0], hours=2, weights=[5.0, 7.0])
+        np.testing.assert_array_equal(series.values, [5, 7])
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ConfigError):
+            HourlyTimeSeries.from_timestamps([0.0], hours=1, weights=[1.0, 2.0])
+
+    def test_out_of_range_clipped_to_edges(self):
+        series = HourlyTimeSeries.from_timestamps([-5.0, 10 * 3600.0], hours=2)
+        assert series.total == 2
+        assert series.values[0] == 1
+        assert series.values[1] == 1
+
+    def test_empty_timestamps(self):
+        assert HourlyTimeSeries.from_timestamps([], hours=4).total == 0
+
+
+class TestTransforms:
+    def test_normalized_sums_to_one(self):
+        series = HourlyTimeSeries.from_values([2.0, 6.0])
+        assert series.normalized().total == pytest.approx(1.0)
+
+    def test_normalized_all_zero_unchanged(self):
+        series = HourlyTimeSeries(hours=3)
+        np.testing.assert_array_equal(series.normalized().values, [0, 0, 0])
+
+    def test_shifted_is_circular(self):
+        series = HourlyTimeSeries.from_values([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(series.shifted(1).values, [3, 1, 2])
+        np.testing.assert_array_equal(series.shifted(-1).values, [2, 3, 1])
+
+    def test_shift_preserves_total(self):
+        series = HourlyTimeSeries.from_values(np.arange(24.0))
+        assert series.shifted(7).total == series.total
+
+    def test_fold_daily_averages_days(self):
+        values = np.concatenate([np.ones(24), 3 * np.ones(24)])
+        series = HourlyTimeSeries.from_values(values)
+        np.testing.assert_allclose(series.fold_daily(), 2.0 * np.ones(24))
+
+    def test_daily_totals(self):
+        series = HourlyTimeSeries.from_values(np.ones(48))
+        np.testing.assert_array_equal(series.daily_totals(), [24, 24])
+
+    def test_peak_hour_of_day(self):
+        values = np.zeros(48)
+        values[5] = 10
+        values[29] = 10
+        series = HourlyTimeSeries.from_values(values)
+        assert series.peak_hour_of_day() == 5
+
+    def test_add_series(self):
+        a = HourlyTimeSeries.from_values([1.0, 2.0])
+        b = HourlyTimeSeries.from_values([3.0, 4.0])
+        np.testing.assert_array_equal((a + b).values, [4, 6])
+
+    def test_add_mismatched_rejected(self):
+        with pytest.raises(ConfigError):
+            HourlyTimeSeries(hours=2) + HourlyTimeSeries(hours=3)
+
+
+class TestDiurnality:
+    def test_flat_profile_is_one(self):
+        assert diurnality_index(np.ones(24)) == pytest.approx(1.0)
+
+    def test_peaked_profile_above_one(self):
+        profile = np.ones(24)
+        profile[2] = 25
+        assert diurnality_index(profile) > 1.5
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigError):
+            diurnality_index(np.ones(23))
+
+    def test_zero_profile(self):
+        assert diurnality_index(np.zeros(24)) == 1.0

@@ -1,0 +1,94 @@
+"""Tests for the Zipf distribution and exponent fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.stats.zipf import ZipfDistribution, fit_zipf_mle
+
+
+class TestZipfDistribution:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            ZipfDistribution(0, 1.0)
+        with pytest.raises(ConfigError):
+            ZipfDistribution(10, 0.0)
+
+    def test_probabilities_sum_to_one(self):
+        dist = ZipfDistribution(100, 0.9)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_probabilities_decrease_with_rank(self):
+        dist = ZipfDistribution(50, 1.2)
+        p = dist.probabilities
+        assert np.all(np.diff(p) <= 0)
+
+    def test_pmf_ratio_follows_power_law(self):
+        dist = ZipfDistribution(100, 1.0)
+        assert dist.pmf(1) / dist.pmf(2) == pytest.approx(2.0)
+
+    def test_pmf_outside_support_is_zero(self):
+        dist = ZipfDistribution(5, 1.0)
+        assert dist.pmf(0) == 0.0
+        assert dist.pmf(6) == 0.0
+
+    def test_sample_within_support(self):
+        dist = ZipfDistribution(30, 0.8)
+        ranks = dist.sample(0, size=1000)
+        assert ranks.min() >= 1
+        assert ranks.max() <= 30
+
+    def test_sample_reproducible(self):
+        dist = ZipfDistribution(30, 0.8)
+        np.testing.assert_array_equal(dist.sample(5, 100), dist.sample(5, 100))
+
+    def test_sample_skews_to_low_ranks(self):
+        dist = ZipfDistribution(1000, 1.1)
+        ranks = dist.sample(0, size=5000)
+        assert np.mean(ranks <= 100) > 0.5
+
+    def test_head_mass_increases_with_exponent(self):
+        flat = ZipfDistribution(1000, 0.3).head_mass(0.1)
+        steep = ZipfDistribution(1000, 1.5).head_mass(0.1)
+        assert steep > flat
+
+    def test_head_mass_bounds(self):
+        dist = ZipfDistribution(100, 1.0)
+        assert dist.head_mass(1.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            dist.head_mass(0.0)
+
+
+class TestFitZipf:
+    def test_needs_two_counts(self):
+        with pytest.raises(ValueError):
+            fit_zipf_mle([5])
+
+    def test_recovers_known_exponent(self):
+        true_s = 1.0
+        n = 2000
+        dist = ZipfDistribution(n, true_s)
+        counts = np.round(dist.probabilities * 500_000).astype(int)
+        fitted = fit_zipf_mle(counts)
+        assert abs(fitted - true_s) <= 0.1
+
+    def test_recovers_from_samples(self):
+        dist = ZipfDistribution(500, 0.8)
+        ranks = dist.sample(3, size=100_000)
+        counts = np.bincount(ranks)[1:]
+        fitted = fit_zipf_mle(counts)
+        assert abs(fitted - 0.8) <= 0.15
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=2, max_size=60))
+    def test_fit_always_in_grid_range(self, counts):
+        fitted = fit_zipf_mle(counts)
+        assert 0.05 <= fitted <= 2.5
+
+    def test_order_invariant(self):
+        counts = [100, 50, 20, 10, 5, 2, 1]
+        assert fit_zipf_mle(counts) == fit_zipf_mle(list(reversed(counts)))

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "--out", "x.csv", "--seed", "3", "--scale", "tiny"])
+        assert args.command == "generate"
+        assert args.seed == 3
+        assert args.scale == "tiny"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--out", "x.csv", "--scale", "huge"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "belady"])
+
+
+class TestCommands:
+    def test_generate_then_analyze(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        trace = tmp_path / "trace.csv"
+        assert main(["generate", "--out", str(trace), "--seed", "1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert trace.exists()
+
+        assert main(["analyze", "--trace", str(trace), "--no-clustering"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out
+        assert "Fig 16" in out
+
+    def test_simulate_prints_hit_ratios(self, capsys):
+        assert main(["simulate", "--seed", "1", "--scale", "tiny", "--policy", "lru"]) == 0
+        out = capsys.readouterr().out
+        assert "hit_ratio" in out
+        assert "overall hit ratio" in out
+
+    def test_reproduce_prints_full_report(self, capsys):
+        assert main(["reproduce", "--seed", "1", "--scale", "tiny", "--no-clustering"]) == 0
+        out = capsys.readouterr().out
+        for figure in ("Fig 1", "Fig 7", "Fig 15", "Fig 16"):
+            assert figure in out
+
+    def test_compare_prints_baseline_table(self, capsys):
+        assert main(["compare", "--seed", "1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "N-1" in out
+        assert "V-1" in out
+
+    def test_trace_tooling_commands(self, tmp_path, capsys):
+        trace = tmp_path / "trace.csv"
+        assert main(["generate", "--out", str(trace), "--seed", "1", "--scale", "tiny"]) == 0
+        capsys.readouterr()
+
+        assert main(["summarize", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "records:" in out
+        assert "per-site records:" in out
+
+        out_dir = tmp_path / "shards"
+        assert main(["split", "--trace", str(trace), "--out-dir", str(out_dir), "--by", "site"]) == 0
+        capsys.readouterr()
+        shards = sorted(out_dir.glob("*.csv"))
+        assert shards
+
+        merged = tmp_path / "merged.csv"
+        assert main(["merge", "--out", str(merged)] + [str(s) for s in shards]) == 0
+        out = capsys.readouterr().out
+        assert "merged" in out
+        assert merged.exists()
+
+    def test_export_dir_option(self, tmp_path, capsys):
+        target = tmp_path / "figures"
+        assert main([
+            "reproduce", "--seed", "1", "--scale", "tiny", "--no-clustering",
+            "--export-dir", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "figure CSVs" in out
+        assert any(target.glob("fig*.csv"))

@@ -1,0 +1,64 @@
+"""Tests for the end-to-end pipeline glue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdn.simulator import SimulationConfig
+from repro.core.report import Study
+from repro.pipeline import generate_trace_file, run_pipeline, run_study
+from repro.trace.reader import TraceReader
+from repro.workload.profiles import profile_v1
+from repro.workload.scale import ScaleConfig
+
+
+class TestRunPipeline:
+    def test_produces_all_components(self, pipeline_result):
+        assert len(pipeline_result.records) > 1000
+        assert set(pipeline_result.workloads) == {"V-1", "V-2", "P-1", "P-2", "S-1"}
+        assert len(pipeline_result.dataset) == len(pipeline_result.records)
+        assert set(pipeline_result.catalogs) == set(pipeline_result.workloads)
+
+    def test_capacity_derived_from_catalogs(self, pipeline_result):
+        catalog_bytes = sum(c.total_bytes() for c in pipeline_result.catalogs.values())
+        edge = next(iter(pipeline_result.simulator.edges.values()))
+        total_capacity = sum(c.capacity_bytes for c in edge.caches())
+        assert 0.1 * catalog_bytes < total_capacity < catalog_bytes
+
+    def test_single_site_pipeline(self):
+        result = run_pipeline(seed=1, scale=ScaleConfig.tiny(), profiles=(profile_v1(),))
+        assert set(result.workloads) == {"V-1"}
+        assert result.dataset.sites == ["V-1"]
+
+    def test_deterministic(self):
+        scale = ScaleConfig.tiny()
+        a = run_pipeline(seed=3, scale=scale, profiles=(profile_v1(),))
+        b = run_pipeline(seed=3, scale=scale, profiles=(profile_v1(),))
+        assert a.records == b.records
+
+    def test_explicit_sim_config_respected(self):
+        config = SimulationConfig(seed=9, cache_policy="fifo", cache_capacity_bytes=10**9, warm_caches=False)
+        result = run_pipeline(seed=1, scale=ScaleConfig.tiny(), profiles=(profile_v1(),), sim_config=config)
+        edge = next(iter(result.simulator.edges.values()))
+        assert edge.large_cache.policy.name == "fifo"
+
+
+class TestRunStudy:
+    def test_returns_report(self):
+        _, report = run_study(
+            seed=1,
+            scale=ScaleConfig.tiny(),
+            profiles=(profile_v1(),),
+            study=Study(run_clustering=False),
+        )
+        text = report.render_text()
+        assert "V-1" in text
+
+
+class TestGenerateTraceFile:
+    def test_writes_readable_trace(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        written = generate_trace_file(path, seed=1, scale=ScaleConfig.tiny(), profiles=(profile_v1(),))
+        assert written > 0
+        count = sum(1 for _ in TraceReader(path))
+        assert count == written

@@ -1,0 +1,100 @@
+"""Tests for the shared type vocabulary and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.types import (
+    CacheStatus,
+    Continent,
+    ContentCategory,
+    DAY_SECONDS,
+    DeviceType,
+    HOUR_SECONDS,
+    OBSERVED_STATUS_CODES,
+    TRACE_DAY_NAMES,
+    TrendClass,
+    WEEK_SECONDS,
+)
+
+
+class TestEnums:
+    def test_content_categories_match_paper(self):
+        assert {c.value for c in ContentCategory} == {"video", "image", "other"}
+
+    def test_device_types_match_fig4(self):
+        assert {d.value for d in DeviceType} == {"desktop", "android", "ios", "misc"}
+
+    def test_mobile_classification(self):
+        assert not DeviceType.DESKTOP.is_mobile
+        for device in (DeviceType.ANDROID, DeviceType.IOS, DeviceType.MISC):
+            assert device.is_mobile
+
+    def test_four_continents(self):
+        # The paper's users span four continents.
+        assert len(Continent) == 4
+
+    def test_continent_offsets_distinct(self):
+        offsets = {c.utc_offset_hours for c in Continent}
+        assert len(offsets) == 4
+
+    def test_cache_status_values(self):
+        assert CacheStatus.HIT.value == "HIT"
+        assert CacheStatus.MISS.value == "MISS"
+
+    def test_trend_classes_cover_paper_clusters(self):
+        values = {t.value for t in TrendClass}
+        assert {"diurnal", "long_lived", "short_lived", "flash_crowd", "outlier"} == values
+
+    def test_str_renderings(self):
+        assert str(ContentCategory.VIDEO) == "video"
+        assert str(DeviceType.IOS) == "ios"
+        assert str(CacheStatus.HIT) == "HIT"
+        assert str(TrendClass.DIURNAL) == "diurnal"
+
+
+class TestConstants:
+    def test_time_constants_consistent(self):
+        assert DAY_SECONDS == 24 * HOUR_SECONDS
+        assert WEEK_SECONDS == 7 * DAY_SECONDS
+
+    def test_observed_codes_are_fig16(self):
+        assert tuple(sorted(OBSERVED_STATUS_CODES)) == (200, 204, 206, 304, 403, 416)
+
+    def test_trace_starts_saturday(self):
+        # The paper's medoid plots run Sat -> Fri.
+        assert TRACE_DAY_NAMES[0] == "Sat"
+        assert TRACE_DAY_NAMES[-1] == "Fri"
+        assert len(TRACE_DAY_NAMES) == 7
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.ConfigError,
+            errors.TraceError,
+            errors.TraceFormatError,
+            errors.TraceSchemaError,
+            errors.WorkloadError,
+            errors.CatalogError,
+            errors.CdnError,
+            errors.CachePolicyError,
+            errors.RoutingError,
+            errors.AnalysisError,
+            errors.EmptyDatasetError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_trace_format_is_trace_error(self):
+        assert issubclass(errors.TraceFormatError, errors.TraceError)
+
+    def test_empty_dataset_is_analysis_error(self):
+        assert issubclass(errors.EmptyDatasetError, errors.AnalysisError)
+
+    def test_catching_base_catches_subsystems(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CachePolicyError("boom")

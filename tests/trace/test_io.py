@@ -1,0 +1,191 @@
+"""Round-trip and robustness tests for trace readers/writers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace import schema
+from repro.trace.reader import TraceReader, read_trace
+from repro.trace.record import LogRecord
+from repro.trace.writer import TraceWriter, write_trace
+from repro.types import CacheStatus, ContentCategory
+
+# Strategy for arbitrary-but-valid log records.
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    min_size=1,
+    max_size=30,
+)
+record_strategy = st.builds(
+    LogRecord,
+    timestamp=st.floats(min_value=0, max_value=604800, allow_nan=False),
+    site=st.sampled_from(["V-1", "V-2", "P-1", "P-2", "S-1"]),
+    object_id=_text,
+    extension=st.sampled_from(["mp4", "jpg", "gif", "html", "flv"]),
+    object_size=st.integers(min_value=0, max_value=10**12),
+    user_id=_text,
+    user_agent=_text,
+    cache_status=st.sampled_from(list(CacheStatus)),
+    status_code=st.sampled_from([200, 204, 206, 304, 403, 416]),
+    bytes_served=st.integers(min_value=0, max_value=10**12),
+    datacenter=st.sampled_from(["dc-europe", "dc-asia"]),
+    chunk_index=st.integers(min_value=-1, max_value=1000),
+)
+
+
+def sample_records(n: int = 5) -> list[LogRecord]:
+    return [
+        LogRecord(
+            timestamp=float(i),
+            site="V-1",
+            object_id=f"obj{i}",
+            extension="mp4" if i % 2 == 0 else "jpg",
+            object_size=1000 * (i + 1),
+            user_id=f"user{i % 2}",
+            user_agent="UA",
+            cache_status=CacheStatus.HIT if i % 2 == 0 else CacheStatus.MISS,
+            status_code=200,
+            bytes_served=500,
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl", "bin"])
+    def test_write_read_roundtrip(self, tmp_path, fmt):
+        path = tmp_path / f"trace.{fmt}"
+        records = sample_records(20)
+        written = write_trace(records, path)
+        assert written == 20
+        loaded = read_trace(path)
+        assert loaded == records
+
+    @settings(max_examples=30)
+    @given(record=record_strategy)
+    def test_row_roundtrip(self, record):
+        assert schema.row_to_record(schema.record_to_row(record)) == record
+
+    @settings(max_examples=30)
+    @given(record=record_strategy)
+    def test_dict_roundtrip(self, record):
+        assert schema.dict_to_record(schema.record_to_dict(record)) == record
+
+    @settings(max_examples=30)
+    @given(record=record_strategy)
+    def test_binary_roundtrip(self, record):
+        packed = schema.pack_record(record)
+        unpacked, offset = schema.unpack_record(packed)
+        assert unpacked == record
+        assert offset == len(packed)
+
+    def test_binary_multiple_records_sequential(self):
+        records = sample_records(4)
+        buffer = b"".join(schema.pack_record(r) for r in records)
+        offset = 0
+        out = []
+        for _ in records:
+            record, offset = schema.unpack_record(buffer, offset)
+            out.append(record)
+        assert out == records
+
+
+class TestWriter:
+    def test_format_inferred_from_suffix(self, tmp_path):
+        writer = TraceWriter(tmp_path / "x.jsonl")
+        assert writer.fmt == "jsonl"
+
+    def test_uninferrable_suffix_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            TraceWriter(tmp_path / "x.dat")
+
+    def test_explicit_format_overrides(self, tmp_path):
+        writer = TraceWriter(tmp_path / "x.dat", fmt="csv")
+        assert writer.fmt == "csv"
+
+    def test_write_before_open_rejected(self, tmp_path):
+        writer = TraceWriter(tmp_path / "x.csv")
+        with pytest.raises(TraceFormatError):
+            writer.write(sample_records(1)[0])
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.csv"
+        write_trace(sample_records(1), path)
+        assert path.exists()
+
+    def test_gzip_binary(self, tmp_path):
+        path = tmp_path / "trace.bin.gz"
+        records = sample_records(10)
+        write_trace(records, path)
+        assert read_trace(path) == records
+
+
+class TestReader:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            TraceReader(tmp_path / "nope.csv")
+
+    def test_site_filter(self, tmp_path):
+        records = sample_records(6)
+        path = tmp_path / "t.csv"
+        write_trace(records, path)
+        assert read_trace(path, sites={"V-1"}) == records
+        assert read_trace(path, sites={"P-1"}) == []
+
+    def test_category_filter(self, tmp_path):
+        records = sample_records(6)
+        path = tmp_path / "t.jsonl"
+        write_trace(records, path)
+        videos = read_trace(path, categories={ContentCategory.VIDEO})
+        assert all(r.category is ContentCategory.VIDEO for r in videos)
+        assert len(videos) == 3
+
+    def test_time_window_filter(self, tmp_path):
+        records = sample_records(10)
+        path = tmp_path / "t.bin"
+        write_trace(records, path)
+        window = read_trace(path, start=2.0, end=5.0)
+        assert [r.timestamp for r in window] == [2.0, 3.0, 4.0]
+
+    def test_corrupt_binary_magic_rejected(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 10)
+        with pytest.raises(TraceFormatError):
+            list(TraceReader(path))
+
+    def test_truncated_binary_rejected(self, tmp_path):
+        path = tmp_path / "t.bin"
+        write_trace(sample_records(3), path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with pytest.raises(TraceFormatError):
+            list(TraceReader(path))
+
+    def test_bad_csv_header_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("wrong,header\n1,2\n")
+        with pytest.raises(TraceFormatError):
+            list(TraceReader(path))
+
+    def test_invalid_jsonl_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(TraceFormatError):
+            list(TraceReader(path))
+
+    def test_blank_jsonl_lines_skipped(self, tmp_path):
+        records = sample_records(2)
+        path = tmp_path / "t.jsonl"
+        write_trace(records, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert read_trace(path) == records
+
+    def test_streaming_does_not_need_full_load(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_trace(sample_records(50), path)
+        iterator = iter(TraceReader(path))
+        first = next(iterator)
+        assert first.timestamp == 0.0

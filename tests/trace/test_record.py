@@ -1,0 +1,91 @@
+"""Tests for the log-record model and category derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceSchemaError
+from repro.trace.record import LogRecord
+from repro.types import CacheStatus, ContentCategory, category_for_extension
+
+
+def make_record(**overrides) -> LogRecord:
+    defaults = dict(
+        timestamp=12.5,
+        site="V-1",
+        object_id="o1234",
+        extension="mp4",
+        object_size=1_000_000,
+        user_id="uabc",
+        user_agent="Mozilla/5.0",
+        cache_status=CacheStatus.HIT,
+        status_code=200,
+        bytes_served=1_000_000,
+    )
+    defaults.update(overrides)
+    return LogRecord(**defaults)
+
+
+class TestValidation:
+    def test_valid_record_constructs(self):
+        record = make_record()
+        assert record.site == "V-1"
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            make_record(timestamp=-1.0)
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            make_record(site="")
+
+    def test_empty_object_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            make_record(object_id="")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            make_record(object_size=-5)
+
+    def test_negative_bytes_served_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            make_record(bytes_served=-5)
+
+    def test_bogus_status_code_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            make_record(status_code=42)
+
+    def test_records_are_immutable(self):
+        record = make_record()
+        with pytest.raises(AttributeError):
+            record.site = "X"
+
+
+class TestDerivedFields:
+    def test_category_from_extension(self):
+        assert make_record(extension="mp4").category is ContentCategory.VIDEO
+        assert make_record(extension="jpg").category is ContentCategory.IMAGE
+        assert make_record(extension="css").category is ContentCategory.OTHER
+
+    def test_is_hit(self):
+        assert make_record(cache_status=CacheStatus.HIT).is_hit
+        assert not make_record(cache_status=CacheStatus.MISS).is_hit
+
+    def test_day_and_hour(self):
+        record = make_record(timestamp=2 * 86400 + 3 * 3600 + 10)
+        assert record.day == 2
+        assert record.hour == 51
+
+
+class TestCategoryMapping:
+    @pytest.mark.parametrize("ext", ["flv", "MP4", ".avi", "wmv", "mpg", "webm"])
+    def test_video_extensions(self, ext):
+        assert category_for_extension(ext) is ContentCategory.VIDEO
+
+    @pytest.mark.parametrize("ext", ["jpg", "JPEG", ".png", "gif", "tiff", "bmp"])
+    def test_image_extensions(self, ext):
+        assert category_for_extension(ext) is ContentCategory.IMAGE
+
+    @pytest.mark.parametrize("ext", ["html", "css", "js", "xml", "mp3", "unknownext", ""])
+    def test_other_extensions(self, ext):
+        assert category_for_extension(ext) is ContentCategory.OTHER

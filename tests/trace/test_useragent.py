@@ -1,0 +1,82 @@
+"""Tests for user-agent synthesis and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.sampling import make_rng
+from repro.trace.useragent import parse_user_agent, synthesize_user_agent
+from repro.types import DeviceType
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("device", list(DeviceType))
+    def test_synthesized_ua_parses_to_same_device(self, device):
+        rng = make_rng(0)
+        for _ in range(30):
+            ua = synthesize_user_agent(device, rng)
+            assert parse_user_agent(ua).device is device, ua
+
+    def test_synthesis_is_reproducible(self):
+        assert synthesize_user_agent(DeviceType.DESKTOP, 5) == synthesize_user_agent(DeviceType.DESKTOP, 5)
+
+
+class TestParsingRealWorldStrings:
+    def test_windows_chrome(self):
+        parsed = parse_user_agent(
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/120.0 Safari/537.36"
+        )
+        assert parsed.device is DeviceType.DESKTOP
+        assert parsed.os == "Windows"
+        assert parsed.browser == "Chrome"
+
+    def test_iphone_safari(self):
+        parsed = parse_user_agent(
+            "Mozilla/5.0 (iPhone; CPU iPhone OS 15_4 like Mac OS X) AppleWebKit/605.1.15 "
+            "(KHTML, like Gecko) Version/15.0 Mobile/15E148 Safari/604.1"
+        )
+        assert parsed.device is DeviceType.IOS
+        assert parsed.os == "iOS"
+
+    def test_android_phone(self):
+        parsed = parse_user_agent(
+            "Mozilla/5.0 (Linux; Android 11; SM-G991B) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/110.0 Mobile Safari/537.36"
+        )
+        assert parsed.device is DeviceType.ANDROID
+        assert parsed.os == "Android"
+
+    def test_android_tablet_is_misc(self):
+        parsed = parse_user_agent(
+            "Mozilla/5.0 (Linux; Android 11; SM-T870) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/110.0 Safari/537.36"
+        )
+        assert parsed.device is DeviceType.MISC
+
+    def test_ipad_is_misc(self):
+        parsed = parse_user_agent(
+            "Mozilla/5.0 (iPad; CPU OS 15_4 like Mac OS X) AppleWebKit/605.1.15 "
+            "(KHTML, like Gecko) Version/15.0 Mobile/15E148 Safari/604.1"
+        )
+        assert parsed.device is DeviceType.MISC
+
+    def test_smart_tv_is_misc(self):
+        parsed = parse_user_agent("Mozilla/5.0 (SMART-TV; Linux; Tizen 6.0) AppleWebKit/537.36")
+        assert parsed.device is DeviceType.MISC
+
+    def test_empty_string_defaults_to_desktop(self):
+        assert parse_user_agent("").device is DeviceType.DESKTOP
+
+    def test_linux_firefox(self):
+        parsed = parse_user_agent("Mozilla/5.0 (X11; Linux x86_64; rv:109.0) Gecko/20100101 Firefox/119.0")
+        assert parsed.device is DeviceType.DESKTOP
+        assert parsed.os == "Linux"
+        assert parsed.browser == "Firefox"
+
+    def test_crios_is_chrome_mobile(self):
+        parsed = parse_user_agent(
+            "Mozilla/5.0 (iPhone; CPU iPhone OS 15_4 like Mac OS X) AppleWebKit/605.1.15 "
+            "(KHTML, like Gecko) CriOS/120.0 Mobile/15E148 Safari/604.1"
+        )
+        assert parsed.browser == "Chrome Mobile"

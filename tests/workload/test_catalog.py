@@ -1,0 +1,99 @@
+"""Tests for content-catalog generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError
+from repro.stats.sampling import make_rng
+from repro.types import ContentCategory, TrendClass
+from repro.workload.catalog import ContentCatalog, ContentObject, build_catalog
+from repro.workload.profiles import ALL_PROFILES, profile_v1, profile_v2
+from repro.workload.scale import ScaleConfig
+
+
+@pytest.fixture(scope="module")
+def v2_catalog():
+    return build_catalog(profile_v2(), ScaleConfig.tiny(), make_rng(0))
+
+
+class TestBuildCatalog:
+    def test_total_object_count_matches_scale(self, v2_catalog):
+        expected = ScaleConfig.tiny().objects(profile_v2().paper_object_count)
+        assert len(v2_catalog) == expected
+
+    def test_category_mix_matches_profile(self, v2_catalog):
+        counts = v2_catalog.category_counts()
+        total = len(v2_catalog)
+        mix = profile_v2().object_mix
+        for category in ContentCategory:
+            assert counts[category] / total == pytest.approx(mix[category], abs=0.02)
+
+    def test_object_ids_unique(self, v2_catalog):
+        ids = [obj.object_id for obj in v2_catalog]
+        assert len(set(ids)) == len(ids)
+
+    def test_extensions_match_categories(self, v2_catalog):
+        from repro.types import category_for_extension
+
+        for obj in v2_catalog:
+            assert category_for_extension(obj.extension) is obj.category
+
+    def test_preexisting_fraction_respected(self, v2_catalog):
+        share = sum(obj.is_preexisting for obj in v2_catalog) / len(v2_catalog)
+        assert share == pytest.approx(profile_v2().preexisting_fraction, abs=0.07)
+
+    def test_birth_times_within_trace(self, v2_catalog):
+        for obj in v2_catalog:
+            assert 0.0 <= obj.birth_time < ScaleConfig.tiny().duration_seconds
+
+    def test_trend_mix_roughly_matches(self, v2_catalog):
+        mix = profile_v2().trend_mix
+        total = len(v2_catalog)
+        for trend in TrendClass:
+            share = len(v2_catalog.by_trend(trend)) / total
+            assert share == pytest.approx(mix[trend], abs=0.06)
+
+    def test_popularity_weights_positive_and_normalisable(self, v2_catalog):
+        weights = np.array([obj.popularity_weight for obj in v2_catalog])
+        assert np.all(weights > 0)
+        assert weights.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_popularity_weights_are_skewed(self, v2_catalog):
+        weights = np.sort([obj.popularity_weight for obj in v2_catalog])[::-1]
+        head = weights[: max(1, len(weights) // 10)].sum()
+        assert head > 0.25  # top 10% of objects carry far more than 10% of weight
+
+    def test_deterministic_given_seed(self):
+        a = build_catalog(profile_v1(), ScaleConfig.tiny(), make_rng(3))
+        b = build_catalog(profile_v1(), ScaleConfig.tiny(), make_rng(3))
+        assert [o.object_id for o in a] == [o.object_id for o in b]
+        assert [o.size_bytes for o in a] == [o.size_bytes for o in b]
+
+    def test_all_profiles_build(self):
+        for profile in ALL_PROFILES():
+            catalog = build_catalog(profile, ScaleConfig.tiny(), make_rng(1))
+            assert len(catalog) >= 20
+
+
+class TestContentCatalogContainer:
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            ContentCatalog("X", [])
+
+    def test_duplicate_ids_rejected(self):
+        obj = ContentObject(
+            object_id="dup", site="X", category=ContentCategory.IMAGE, extension="jpg",
+            size_bytes=10, birth_time=0.0, trend=TrendClass.DIURNAL, popularity_weight=1.0,
+        )
+        with pytest.raises(CatalogError):
+            ContentCatalog("X", [obj, obj])
+
+    def test_lookup_and_contains(self, v2_catalog):
+        first = v2_catalog.objects[0]
+        assert first.object_id in v2_catalog
+        assert v2_catalog[first.object_id] is first
+
+    def test_total_bytes(self, v2_catalog):
+        assert v2_catalog.total_bytes() == sum(o.size_bytes for o in v2_catalog)

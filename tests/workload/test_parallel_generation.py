@@ -1,0 +1,38 @@
+"""Tests for parallel (multi-process) workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import profile_p1, profile_v1
+from repro.workload.scale import ScaleConfig
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return WorkloadGenerator(
+        profiles=(profile_v1(), profile_p1()), scale=ScaleConfig.tiny(), seed=29
+    )
+
+
+class TestParallelGeneration:
+    def test_parallel_equals_serial(self, generator):
+        serial = generator.generate_all(parallel=False)
+        parallel = generator.generate_all(parallel=True, max_workers=2)
+        assert set(serial) == set(parallel)
+        for name in serial:
+            a, b = serial[name], parallel[name]
+            assert a.request_count == b.request_count
+            assert [o.object_id for o in a.catalog] == [o.object_id for o in b.catalog]
+            assert [
+                (r.timestamp, r.obj.object_id, r.user.user_id) for r in a.requests[:300]
+            ] == [(r.timestamp, r.obj.object_id, r.user.user_id) for r in b.requests[:300]]
+
+    def test_parallel_results_feed_simulator(self, generator):
+        from repro.cdn.simulator import CdnSimulator, SimulationConfig
+
+        workloads = generator.generate_all(parallel=True, max_workers=2)
+        simulator = CdnSimulator(profiles=generator.profiles, config=SimulationConfig(seed=30))
+        records = list(simulator.run(generator.merged_requests(workloads)))
+        assert records

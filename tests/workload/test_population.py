@@ -1,0 +1,79 @@
+"""Tests for user-population generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.sampling import make_rng
+from repro.trace.useragent import parse_user_agent
+from repro.types import Continent, DeviceType
+from repro.workload.population import CONTINENT_MIX, build_population
+from repro.workload.profiles import profile_s1, profile_v2
+from repro.workload.scale import ScaleConfig
+
+
+@pytest.fixture(scope="module")
+def s1_population():
+    return build_population(profile_s1(), ScaleConfig.tiny(), make_rng(0))
+
+
+class TestBuildPopulation:
+    def test_size_matches_scale(self, s1_population):
+        expected = ScaleConfig.tiny().users(profile_s1().paper_user_count)
+        assert len(s1_population) == expected
+
+    def test_user_ids_unique(self, s1_population):
+        ids = [u.user_id for u in s1_population]
+        assert len(set(ids)) == len(ids)
+
+    def test_device_mix_exact_via_largest_remainder(self, s1_population):
+        counts = s1_population.device_counts()
+        total = len(s1_population)
+        for device, share in profile_s1().device_mix.items():
+            assert counts[device] / total == pytest.approx(share, abs=1.5 / total)
+
+    def test_user_agents_parse_back_to_device(self, s1_population):
+        for user in list(s1_population)[:200]:
+            assert parse_user_agent(user.user_agent).device is user.device
+
+    def test_all_continents_represented(self, s1_population):
+        continents = {u.continent for u in s1_population}
+        assert continents == set(Continent)
+
+    def test_continent_mix_roughly_matches(self, s1_population):
+        total = len(s1_population)
+        for continent, share in CONTINENT_MIX.items():
+            observed = sum(u.continent is continent for u in s1_population) / total
+            assert observed == pytest.approx(share, abs=0.08)
+
+    def test_incognito_fraction(self, s1_population):
+        share = sum(u.incognito for u in s1_population) / len(s1_population)
+        assert share == pytest.approx(profile_s1().incognito_fraction, abs=0.08)
+
+    def test_addiction_propensity_in_unit_interval(self, s1_population):
+        for user in s1_population:
+            assert 0.0 <= user.addiction_propensity <= 1.0
+
+    def test_activity_weights_heavy_tailed(self, s1_population):
+        weights = np.sort([u.activity_weight for u in s1_population])[::-1]
+        head = weights[: max(1, len(weights) // 20)].sum()
+        assert head / weights.sum() > 0.15
+
+    def test_deterministic_given_seed(self):
+        a = build_population(profile_v2(), ScaleConfig.tiny(), make_rng(9))
+        b = build_population(profile_v2(), ScaleConfig.tiny(), make_rng(9))
+        assert [u.user_id for u in a] == [u.user_id for u in b]
+        assert [u.device for u in a] == [u.device for u in b]
+
+
+class TestSampling:
+    def test_sample_visitor_prefers_heavy_users(self, s1_population):
+        rng = make_rng(1)
+        heavy = max(s1_population, key=lambda u: u.activity_weight)
+        draws = s1_population.sample_visitors(rng, 3000)
+        heavy_share = sum(u is heavy for u in draws) / len(draws)
+        assert heavy_share > 1.5 / len(s1_population)
+
+    def test_sample_visitors_size(self, s1_population):
+        assert len(s1_population.sample_visitors(make_rng(2), 17)) == 17

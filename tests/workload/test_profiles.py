@@ -1,0 +1,143 @@
+"""Tests for the five paper-calibrated site profiles."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.types import ContentCategory, DeviceType, SiteKind, TrendClass
+from repro.workload.profiles import (
+    ALL_PROFILES,
+    PROFILES_BY_NAME,
+    SizeModel,
+    profile_p2,
+    profile_s1,
+    profile_v1,
+    profile_v2,
+)
+
+
+class TestBuiltinProfiles:
+    def test_five_sites_in_paper_order(self):
+        names = [p.name for p in ALL_PROFILES()]
+        assert names == ["V-1", "V-2", "P-1", "P-2", "S-1"]
+
+    def test_by_name_lookup(self):
+        assert PROFILES_BY_NAME()["P-1"].kind is SiteKind.IMAGE
+
+    def test_mixes_sum_to_one(self):
+        for profile in ALL_PROFILES():
+            assert sum(profile.object_mix.values()) == pytest.approx(1.0)
+            assert sum(profile.request_mix.values()) == pytest.approx(1.0)
+            assert sum(profile.device_mix.values()) == pytest.approx(1.0)
+            assert sum(profile.trend_mix.values()) == pytest.approx(1.0)
+
+    def test_paper_catalog_sizes(self):
+        # Fig. 1 caption numbers.
+        expected = {"V-1": 6_600, "V-2": 55_600, "P-1": 16_300, "P-2": 29_600, "S-1": 22_900}
+        for profile in ALL_PROFILES():
+            assert profile.paper_object_count == expected[profile.name]
+
+    def test_v1_video_dominated(self):
+        assert profile_v1().object_mix[ContentCategory.VIDEO] == pytest.approx(0.98)
+
+    def test_v2_image_heavy_catalog(self):
+        v2 = profile_v2()
+        assert v2.object_mix[ContentCategory.IMAGE] == pytest.approx(0.84)
+        assert v2.object_mix[ContentCategory.VIDEO] == pytest.approx(0.15)
+
+    def test_v2_mostly_desktop(self):
+        # Paper: >95% of V-2 visitors are desktop.
+        assert profile_v2().device_mix[DeviceType.DESKTOP] > 0.95
+
+    def test_s1_over_third_mobile(self):
+        # Paper: more than one-third of S-1 visitors on smartphone/misc.
+        assert profile_s1().mobile_fraction > 1 / 3
+
+    def test_v1_anti_diurnal_peak(self):
+        # Paper: V-1 peaks late-night/early-morning.
+        assert profile_v1().peak_local_hour in range(0, 6)
+
+    def test_v1_has_most_pronounced_cycle(self):
+        v1 = profile_v1()
+        for profile in ALL_PROFILES():
+            if profile.name != "V-1":
+                assert profile.diurnal_amplitude < v1.diurnal_amplitude
+
+    def test_p2_largest_videos(self):
+        p2_median = profile_p2().size_models[ContentCategory.VIDEO].median_bytes
+        for profile in ALL_PROFILES():
+            if profile.name != "P-2":
+                assert profile.size_models[ContentCategory.VIDEO].median_bytes < p2_median
+
+    def test_p2_trend_mix_matches_dendrogram(self):
+        # Fig. 8(b): 61% diurnal, 25% long-lived, 14% flash-crowd.
+        mix = profile_p2().trend_mix
+        assert mix[TrendClass.DIURNAL] == pytest.approx(0.61)
+        assert mix[TrendClass.LONG_LIVED] == pytest.approx(0.25)
+        assert mix[TrendClass.FLASH_CROWD] == pytest.approx(0.14)
+
+    def test_video_sites_more_addictive_than_image(self):
+        for profile in ALL_PROFILES():
+            assert profile.addiction_video > profile.addiction_image
+
+    def test_s1_smallest_cache_priority(self):
+        s1 = profile_s1()
+        for profile in ALL_PROFILES():
+            if profile.name != "S-1":
+                assert profile.cache_priority > s1.cache_priority
+
+    def test_image_sites_have_more_single_request_sessions(self):
+        by_name = PROFILES_BY_NAME()
+        for image_site in ("P-1", "P-2", "S-1"):
+            for video_site in ("V-1", "V-2"):
+                assert by_name[image_site].session_single_fraction > by_name[video_site].session_single_fraction
+
+    def test_mean_requests_per_session_mixes_singles(self):
+        profile = profile_v1()
+        expected = profile.session_single_fraction + (1 - profile.session_single_fraction) * profile.session_mean_requests
+        assert profile.mean_requests_per_session == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_bad_object_mix_rejected(self):
+        profile = profile_v1()
+        with pytest.raises(ConfigError):
+            dataclasses.replace(profile, object_mix={ContentCategory.VIDEO: 0.5})
+
+    def test_bad_device_mix_rejected(self):
+        profile = profile_v1()
+        with pytest.raises(ConfigError):
+            dataclasses.replace(profile, device_mix={DeviceType.DESKTOP: 0.5, DeviceType.ANDROID: 0.4, DeviceType.IOS: 0.05, DeviceType.MISC: 0.0})
+
+    def test_bad_peak_hour_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(profile_v1(), peak_local_hour=24)
+
+    def test_amplitude_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(profile_v1(), diurnal_amplitude=0.5)
+
+    def test_single_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(profile_v1(), session_single_fraction=1.0)
+
+    def test_multi_mean_below_two_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(profile_v1(), session_mean_requests=1.5)
+
+
+class TestSizeModel:
+    def test_positive_median_required(self):
+        with pytest.raises(ConfigError):
+            SizeModel(median_bytes=0, sigma=1.0)
+
+    def test_positive_sigma_required(self):
+        with pytest.raises(ConfigError):
+            SizeModel(median_bytes=100, sigma=0)
+
+    def test_bimodal_split_bounds(self):
+        with pytest.raises(ConfigError):
+            SizeModel(median_bytes=100, sigma=1.0, bimodal_split=1.0)

@@ -1,0 +1,125 @@
+"""Tests for the session-planning primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.sampling import make_rng
+from repro.types import Continent
+from repro.workload.profiles import profile_p1, profile_v1
+from repro.workload.sessions import (
+    SESSION_TIMEOUT_SECONDS,
+    hourly_start_distribution,
+    plan_session,
+    sample_request_counts,
+    sample_session_starts,
+    sample_think_times,
+)
+
+
+class TestStartDistribution:
+    def test_is_probability_distribution(self):
+        dist = hourly_start_distribution(profile_v1(), 168, utc_offset_hours=0)
+        assert dist.sum() == pytest.approx(1.0)
+        assert np.all(dist >= 0)
+
+    def test_local_peak_shifts_with_offset(self):
+        profile = profile_v1()
+        base = hourly_start_distribution(profile, 168, utc_offset_hours=0)
+        shifted = hourly_start_distribution(profile, 168, utc_offset_hours=8)
+        # The UTC+8 user's local-hour-h activity happens at UTC hour h-8.
+        base_peak = int(np.argmax(base[:24]))
+        shifted_peak = int(np.argmax(shifted[:24]))
+        assert (base_peak - shifted_peak) % 24 == 8
+
+    def test_all_continents_supported(self):
+        profile = profile_p1()
+        for continent in Continent:
+            dist = hourly_start_distribution(profile, 168, continent.utc_offset_hours)
+            assert dist.size == 168
+
+
+class TestSessionStarts:
+    def test_count_and_range(self):
+        dist = hourly_start_distribution(profile_v1(), 168, 0)
+        starts = sample_session_starts(500, dist, make_rng(0))
+        assert starts.size == 500
+        assert np.all(starts >= 0)
+        assert np.all(starts < 168 * 3600)
+
+    def test_zero_sessions(self):
+        dist = hourly_start_distribution(profile_v1(), 168, 0)
+        assert sample_session_starts(0, dist, make_rng(0)).size == 0
+
+    def test_starts_follow_distribution(self):
+        profile = profile_v1()
+        dist = hourly_start_distribution(profile, 168, 0)
+        starts = sample_session_starts(20_000, dist, make_rng(1))
+        hours = (starts // 3600).astype(int)
+        observed = np.bincount(hours % 24, minlength=24) / starts.size
+        expected = dist.reshape(7, 24).sum(axis=0)
+        assert np.corrcoef(observed, expected)[0, 1] > 0.8
+
+
+class TestRequestCounts:
+    def test_support_at_least_one(self):
+        counts = sample_request_counts(1000, 0.4, 3.0, make_rng(0))
+        assert counts.min() >= 1
+
+    def test_single_fraction_respected(self):
+        counts = sample_request_counts(20_000, 0.5, 4.0, make_rng(1))
+        # Singles come from the 0.5 mixture plus none from the browse branch
+        # (browse sessions have >= 2 requests).
+        assert np.mean(counts == 1) == pytest.approx(0.5, abs=0.02)
+
+    def test_browse_mean_respected(self):
+        counts = sample_request_counts(50_000, 0.0, 4.0, make_rng(2))
+        assert counts.mean() == pytest.approx(4.0, rel=0.05)
+
+    def test_empty(self):
+        assert sample_request_counts(0, 0.5, 3.0, make_rng(0)).size == 0
+
+
+class TestThinkTimes:
+    def test_capped_below_timeout(self):
+        times = sample_think_times(5000, 300.0, make_rng(0))
+        assert times.max() < SESSION_TIMEOUT_SECONDS
+
+    def test_mean_roughly_exponential(self):
+        times = sample_think_times(50_000, 60.0, make_rng(1))
+        assert times.mean() == pytest.approx(60.0, rel=0.1)
+
+    def test_empty(self):
+        assert sample_think_times(0, 60.0, make_rng(0)).size == 0
+
+
+class TestPlanSession:
+    def test_times_ascending_and_within_trace(self):
+        plan = plan_session(0, 1000.0, 0.3, 4.0, 60.0, 604800.0, make_rng(0))
+        assert np.all(np.diff(plan.request_times) >= 0)
+        assert np.all(plan.request_times < 604800.0)
+        assert plan.request_times[0] == 1000.0
+
+    def test_never_empty_even_at_trace_end(self):
+        plan = plan_session(0, 604799.5, 0.0, 5.0, 60.0, 604800.0, make_rng(1))
+        assert plan.request_times.size >= 1
+
+    def test_planned_gaps_stay_within_session_timeout(self):
+        for seed in range(30):
+            plan = plan_session(0, 0.0, 0.0, 8.0, 200.0, 604800.0, make_rng(seed))
+            if plan.request_times.size > 1:
+                assert np.diff(plan.request_times).max() < SESSION_TIMEOUT_SECONDS
+
+    @settings(max_examples=30)
+    @given(
+        start=st.floats(min_value=0, max_value=600_000),
+        single=st.floats(min_value=0.0, max_value=0.9),
+        mean=st.floats(min_value=2.0, max_value=10.0),
+    )
+    def test_plan_always_valid(self, start, single, mean):
+        plan = plan_session(0, start, single, mean, 60.0, 604800.0, make_rng(0))
+        assert plan.request_times.size >= 1
+        assert np.all(plan.request_times < 604800.0)

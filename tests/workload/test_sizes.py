@@ -1,0 +1,95 @@
+"""Tests for the object-size models (Fig. 5 calibration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.ecdf import EmpiricalCDF
+from repro.stats.sampling import make_rng
+from repro.types import ContentCategory, TrendClass
+from repro.workload.profiles import SizeModel, profile_v1
+from repro.workload.sizes import (
+    MAX_OBJECT_BYTES,
+    MIN_OBJECT_BYTES,
+    VIDEO_TREND_SIZE_FACTOR,
+    sample_extension,
+    sample_object_size,
+    sample_object_sizes,
+)
+
+
+class TestSampleObjectSize:
+    def test_within_global_envelope(self):
+        model = SizeModel(median_bytes=1e7, sigma=2.0)
+        rng = make_rng(0)
+        for _ in range(200):
+            size = sample_object_size(model, ContentCategory.VIDEO, TrendClass.OUTLIER, rng)
+            assert MIN_OBJECT_BYTES <= size <= MAX_OBJECT_BYTES
+
+    def test_video_median_near_model(self):
+        model = SizeModel(median_bytes=10_000_000, sigma=0.5)
+        sizes = sample_object_sizes(model, ContentCategory.VIDEO, [TrendClass.OUTLIER] * 3000, make_rng(1))
+        median = float(np.median(sizes))
+        assert 7_000_000 < median < 14_000_000
+
+    def test_majority_of_videos_above_1mb(self):
+        # Paper Fig. 5(a): the majority of video objects exceed 1 MB.
+        model = profile_v1().size_models[ContentCategory.VIDEO]
+        trends = [TrendClass.DIURNAL, TrendClass.LONG_LIVED, TrendClass.SHORT_LIVED] * 1000
+        sizes = sample_object_sizes(model, ContentCategory.VIDEO, trends, make_rng(2))
+        assert np.mean(sizes > 1_000_000) > 0.75
+
+    def test_images_mostly_below_1mb(self):
+        # Paper Fig. 5(b): image objects are less than 1 MB.
+        model = SizeModel(median_bytes=200_000, sigma=0.9, bimodal_split=0.55)
+        sizes = sample_object_sizes(model, ContentCategory.IMAGE, [TrendClass.DIURNAL] * 3000, make_rng(3))
+        assert np.mean(sizes < 1_000_000) > 0.85
+
+    def test_image_bimodality(self):
+        # Thumbnails + large photos -> bi-modal size distribution.
+        model = SizeModel(median_bytes=400_000, sigma=0.5, bimodal_split=0.5, thumb_median_bytes=15_000, thumb_sigma=0.4)
+        sizes = sample_object_sizes(model, ContentCategory.IMAGE, [TrendClass.DIURNAL] * 4000, make_rng(4))
+        assert EmpiricalCDF(sizes).is_bimodal(split=80_000)
+
+    def test_video_trend_size_ordering(self):
+        # Paper Section IV-B: long-lived largest, diurnal smallest.
+        model = SizeModel(median_bytes=10_000_000, sigma=0.3)
+        medians = {}
+        for trend in (TrendClass.DIURNAL, TrendClass.SHORT_LIVED, TrendClass.LONG_LIVED):
+            sizes = sample_object_sizes(model, ContentCategory.VIDEO, [trend] * 2000, make_rng(5))
+            medians[trend] = float(np.median(sizes))
+        assert medians[TrendClass.DIURNAL] < medians[TrendClass.SHORT_LIVED] < medians[TrendClass.LONG_LIVED]
+
+    def test_trend_factor_not_applied_to_images(self):
+        model = SizeModel(median_bytes=100_000, sigma=0.2)
+        diurnal = sample_object_sizes(model, ContentCategory.IMAGE, [TrendClass.DIURNAL] * 2000, make_rng(6))
+        long_lived = sample_object_sizes(model, ContentCategory.IMAGE, [TrendClass.LONG_LIVED] * 2000, make_rng(6))
+        assert np.median(diurnal) == pytest.approx(np.median(long_lived), rel=0.15)
+
+    def test_vectorised_matches_scalar_distribution(self):
+        model = SizeModel(median_bytes=1_000_000, sigma=0.8)
+        vector = sample_object_sizes(model, ContentCategory.VIDEO, [TrendClass.OUTLIER] * 2000, make_rng(7))
+        scalar = [sample_object_size(model, ContentCategory.VIDEO, TrendClass.OUTLIER, make_rng(i)) for i in range(500)]
+        assert np.median(vector) == pytest.approx(np.median(scalar), rel=0.3)
+
+    def test_all_trend_factors_defined(self):
+        assert set(VIDEO_TREND_SIZE_FACTOR) == set(TrendClass)
+
+
+class TestSampleExtension:
+    def test_extension_matches_category(self):
+        rng = make_rng(0)
+        from repro.types import category_for_extension
+
+        for category in ContentCategory:
+            for _ in range(50):
+                ext = sample_extension(category, rng)
+                assert category_for_extension(ext) is category
+
+    def test_prefer_gif_raises_gif_share(self):
+        rng = make_rng(1)
+        plain = sum(sample_extension(ContentCategory.IMAGE, rng) == "gif" for _ in range(2000)) / 2000
+        rng = make_rng(1)
+        boosted = sum(sample_extension(ContentCategory.IMAGE, rng, prefer_gif=True) == "gif" for _ in range(2000)) / 2000
+        assert boosted > plain

@@ -1,0 +1,54 @@
+"""Tests for workload calibration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import ALL_PROFILES, profile_v2
+from repro.workload.scale import ScaleConfig
+from repro.workload.validation import CalibrationCheck, validate_workload
+
+
+@pytest.fixture(scope="module")
+def v2_workload():
+    generator = WorkloadGenerator(profiles=(profile_v2(),), scale=ScaleConfig.tiny(), seed=13)
+    return generator.generate_site(profile_v2())
+
+
+class TestCalibrationCheck:
+    def test_ok_within_tolerance(self):
+        check = CalibrationCheck("m", target=0.5, measured=0.52, tolerance=0.05)
+        assert check.ok
+        assert check.error == pytest.approx(0.02)
+
+    def test_off_outside_tolerance(self):
+        check = CalibrationCheck("m", target=0.5, measured=0.6, tolerance=0.05)
+        assert not check.ok
+
+
+class TestValidateWorkload:
+    def test_v2_workload_calibrated(self, v2_workload):
+        report = validate_workload(v2_workload)
+        assert report.ok, "calibration drifted:\n" + report.render()
+
+    def test_report_covers_expected_metrics(self, v2_workload):
+        report = validate_workload(v2_workload)
+        metrics = {check.metric for check in report.checks}
+        assert "catalog share video" in metrics
+        assert "device share desktop" in metrics
+        assert "request share image" in metrics
+        assert "pre-existing fraction" in metrics
+        assert any(m.startswith("trend share") for m in metrics)
+        assert "requests sorted by time" in metrics
+
+    def test_failures_listing(self, v2_workload):
+        report = validate_workload(v2_workload)
+        assert report.failures() == [c for c in report.checks if not c.ok]
+
+    def test_all_paper_sites_calibrated(self):
+        generator = WorkloadGenerator(scale=ScaleConfig.tiny(), seed=17)
+        for profile in ALL_PROFILES():
+            workload = generator.generate_site(profile)
+            report = validate_workload(workload)
+            assert report.ok, f"{profile.name} calibration drifted:\n" + report.render()
