@@ -9,7 +9,7 @@ the showcased examples, P-2 additionally exhibiting a flash-crowd group.
 from __future__ import annotations
 
 import pytest
-from conftest import print_header
+from conftest import print_header, record_extra
 
 from repro.core.clustering import cluster_popularity_trends
 from repro.types import ContentCategory, TrendClass
@@ -36,6 +36,16 @@ def test_fig08_dtw_clustering(benchmark, dataset):
         rendered = ", ".join(f"{label.value}={share:5.1%}" for label, share in sorted(shares.items(), key=lambda kv: -kv[1]))
         print(f"  {site} {category} (n={len(result.objects)}): {rendered}")
         print(f"  merge-height range: {result.dendrogram.heights().min():.3f} .. {result.dendrogram.heights().max():.3f}")
+        print(f"  DTW fast path: {result.dtw_stats}")
+    record_extra(
+        "fig08_dtw_clustering",
+        dtw_stats={
+            f"{site}/{category}": result.dtw_stats.as_dict()
+            for (site, category), result in sorted(results.items())
+        },
+    )
+    for result in results.values():
+        assert result.dtw_stats is not None and result.dtw_stats.pairs_total > 0
 
     v2 = results[("V-2", "video")].fractions()
     p2 = results[("P-2", "image")].fractions()

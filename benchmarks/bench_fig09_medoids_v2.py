@@ -9,7 +9,7 @@ short-lived pattern that dies within hours.
 from __future__ import annotations
 
 import numpy as np
-from conftest import print_header
+from conftest import print_header, record_extra
 
 from repro.core.clustering import cluster_popularity_trends
 from repro.types import ContentCategory, TrendClass
@@ -39,6 +39,8 @@ def test_fig09_medoids_v2(benchmark, dataset):
     for cluster in result.clusters:
         band_width = float(np.mean(cluster.band_upper - cluster.band_lower))
         print(f"  [{cluster.label.value:12} n={cluster.size:3} band~{band_width:.4f}] |{sparkline(cluster.medoid_series)}|")
+    print(f"  DTW fast path: {result.dtw_stats}")
+    record_extra("fig09_medoids_v2", dtw_stats=result.dtw_stats.as_dict())
 
     labels = {cluster.label for cluster in result.clusters}
     assert TrendClass.DIURNAL in labels

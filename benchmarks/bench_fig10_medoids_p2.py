@@ -8,7 +8,7 @@ short-lived/flash shapes.
 from __future__ import annotations
 
 import numpy as np
-from conftest import print_header
+from conftest import print_header, record_extra
 
 from repro.core.clustering import cluster_popularity_trends
 from repro.types import ContentCategory, TrendClass
@@ -37,6 +37,8 @@ def test_fig10_medoids_p2(benchmark, dataset):
                  "diurnal-heavy mix with long-lived and flash/short shapes")
     for cluster in result.clusters:
         print(f"  [{cluster.label.value:12} n={cluster.size:3}] |{sparkline(cluster.medoid_series)}|")
+    print(f"  DTW fast path: {result.dtw_stats}")
+    record_extra("fig10_medoids_p2", dtw_stats=result.dtw_stats.as_dict())
 
     fractions = result.fractions()
     # P-2's mix is diurnal-heavy (paper: 61% diurnal, 25% long-lived).

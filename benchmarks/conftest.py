@@ -6,9 +6,21 @@ rows/series the corresponding paper figure reports.  Scale is selected via
 the ``REPRO_SCALE`` environment variable (tiny | small | medium; default
 small — big enough for stable distribution shapes, small enough to run on
 a laptop in well under a minute).
+
+Every benchmark run additionally appends one machine-readable record per
+executed ``bench_*`` test to ``BENCH_results.json`` at the repo root
+(figure id, outcome, wall time, ``REPRO_SCALE``, plus whatever extra
+payload the benchmark registered via :func:`record_extra` — e.g. the
+``DtwStats`` of the clustering figures), seeding the performance
+trajectory across PRs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -16,6 +28,68 @@ from repro.pipeline import PipelineResult, run_pipeline
 from repro.workload.scale import ScaleConfig
 
 BENCH_SEED = 2016  # the paper's year
+
+#: Machine-readable per-run benchmark records land here (repo root).
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+_records: list[dict] = []
+_extras: dict[str, dict] = {}
+
+
+def record_extra(figure: str, **payload) -> None:
+    """Attach extra machine-readable payload to a figure's benchmark record.
+
+    ``figure`` is the benchmark file stem without the ``bench_`` prefix
+    (e.g. ``"fig08_dtw_clustering"``); the payload is merged into the
+    record written to ``BENCH_results.json``.
+    """
+    _extras.setdefault(figure, {}).update(payload)
+
+
+def _figure_id(item: pytest.Item) -> str:
+    stem = Path(str(item.fspath)).stem
+    return stem.removeprefix("bench_")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item: pytest.Item, call: pytest.CallInfo):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call":
+        return
+    figure = _figure_id(item)
+    record: dict = {
+        "figure": figure,
+        "test": item.name,
+        "outcome": report.outcome,
+        "wall_seconds": round(call.duration, 6),
+        "scale": os.environ.get("REPRO_SCALE", "small"),
+        "seed": BENCH_SEED,
+        "timestamp": round(time.time(), 3),
+    }
+    benchmark = item.funcargs.get("benchmark") if hasattr(item, "funcargs") else None
+    if benchmark is not None:
+        try:
+            record["benchmark_seconds"] = float(benchmark.stats.stats.mean)
+        except (AttributeError, TypeError):
+            pass
+    record.update(_extras.pop(figure, {}))
+    _records.append(record)
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    if not _records:
+        return
+    existing: list[dict] = []
+    if RESULTS_PATH.exists():
+        try:
+            loaded = json.loads(RESULTS_PATH.read_text())
+            if isinstance(loaded, list):
+                existing = loaded
+        except (OSError, ValueError):
+            existing = []
+    existing.extend(_records)
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

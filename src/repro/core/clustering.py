@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.dataset import ObjectStats, TraceDataset
-from repro.core.dtw import pairwise_dtw
+from repro.core.dtw import DtwStats, pairwise_dtw
 from repro.core.hierarchy import AgglomerativeClustering, Dendrogram, cluster_medoid
 from repro.errors import EmptyDatasetError
 from repro.types import ContentCategory, TrendClass
@@ -52,6 +52,9 @@ class TrendClusteringResult:
     series: list[np.ndarray]
     dendrogram: Dendrogram
     clusters: list[TrendCluster] = field(default_factory=list)
+    #: How the pairwise DTW matrix was computed (pairs pruned/abandoned/full
+    #: DP and wall time) — see :class:`repro.core.dtw.DtwStats`.
+    dtw_stats: DtwStats | None = None
 
     def fractions(self) -> dict[TrendClass, float]:
         """Share of clustered objects per trend label (Fig. 8 percentages)."""
@@ -173,6 +176,8 @@ def cluster_popularity_trends(
     resample_hours: int = 2,
     selection: str = "random",
     selection_seed: int = 0,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> TrendClusteringResult:
     """Run the full Fig. 8-10 pipeline for one (site, category).
 
@@ -188,6 +193,12 @@ def cluster_popularity_trends(
     ``selection`` chooses between a seeded uniform ``"random"`` sample of
     qualifying objects (default; keeps trend shares representative) and the
     ``"top"`` most-requested objects.
+
+    ``parallel``/``max_workers`` are forwarded to
+    :func:`repro.core.dtw.pairwise_dtw`; the matrix (and therefore the
+    clustering) is bit-identical either way, and the :class:`DtwStats`
+    describing how the matrix was computed land on the result's
+    ``dtw_stats``.
     """
     if selection == "top":
         objects = dataset.top_objects(site, category, limit=max_objects, min_requests=min_requests)
@@ -207,12 +218,19 @@ def cluster_popularity_trends(
     dtw_series = [_resample(s, resample_hours) for s in series]
     window = max(1, dtw_window // max(1, resample_hours))
 
-    distances = pairwise_dtw(dtw_series, window=window)
+    distances, dtw_stats = pairwise_dtw(
+        dtw_series, window=window, parallel=parallel, max_workers=max_workers, return_stats=True
+    )
     dendrogram = AgglomerativeClustering(linkage=linkage).fit(distances)
     labels = dendrogram.cut(min(n_clusters, len(objects)))
 
     result = TrendClusteringResult(
-        site=site, category=category, objects=objects, series=series, dendrogram=dendrogram
+        site=site,
+        category=category,
+        objects=objects,
+        series=series,
+        dendrogram=dendrogram,
+        dtw_stats=dtw_stats,
     )
     member_labels = [classify_trend(s) for s in series]
     for cluster_id in range(labels.max() + 1):

@@ -121,6 +121,20 @@ class TestPath:
         a, b = rng.random(12), rng.random(12)
         assert dtw_path(a, b)[0] == pytest.approx(dtw_distance(a, b))
 
+    # dtw_path shares dtw_distance's input validation (it used to skip it:
+    # a negative window silently produced a garbage band).
+    def test_path_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            dtw_path([], [1.0])
+
+    def test_path_two_dimensional_rejected(self):
+        with pytest.raises(AnalysisError):
+            dtw_path(np.zeros((2, 2)), [1.0])
+
+    def test_path_negative_window_rejected(self):
+        with pytest.raises(AnalysisError):
+            dtw_path([1.0], [1.0], window=-1)
+
 
 class TestPairwise:
     def test_matrix_properties(self):
