@@ -32,9 +32,24 @@ class CacheEntry:
     ttl: float | None = None
     version: int = 0
     hits: int = 0
+    #: When a 304 revalidation last confirmed the content current at the
+    #: origin; ``None`` until the first revalidation.  ``stored_at`` stays
+    #: the original insert time.
+    revalidated_at: float | None = None
 
     def is_fresh(self, now: float) -> bool:
         return self.expires_at is None or now < self.expires_at
+
+    def validated_age(self, now: float) -> float:
+        """Seconds since the content was last confirmed current at the origin.
+
+        The content-age clock the Fig. 7 style analyses need: it restarts
+        on a 304 revalidation (the origin just vouched for the bytes),
+        whereas ``now - stored_at`` keeps growing and over-reports the age
+        of revalidated entries.
+        """
+        reference = self.stored_at if self.revalidated_at is None else self.revalidated_at
+        return now - reference
 
 
 @dataclass
@@ -151,6 +166,7 @@ class Cache:
         if entry is not None and not entry.is_fresh(now):
             if revalidate_version is not None and entry.version == revalidate_version:
                 entry.expires_at = now + entry.ttl if entry.ttl is not None else None
+                entry.revalidated_at = now
                 self.stats.revalidations += 1
             else:
                 self._remove(key)

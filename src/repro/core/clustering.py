@@ -177,6 +177,8 @@ def cluster_popularity_trends(
     selection: str = "random",
     selection_seed: int = 0,
     parallel: bool = False,
+    dtw_abandon_beyond_k: int | None = None,
+    dtw_kernel: str | None = None,
     max_workers: int | None = None,
 ) -> TrendClusteringResult:
     """Run the full Fig. 8-10 pipeline for one (site, category).
@@ -194,11 +196,15 @@ def cluster_popularity_trends(
     qualifying objects (default; keeps trend shares representative) and the
     ``"top"`` most-requested objects.
 
-    ``parallel``/``max_workers`` are forwarded to
+    ``parallel``/``max_workers``/``dtw_kernel`` are forwarded to
     :func:`repro.core.dtw.pairwise_dtw`; the matrix (and therefore the
-    clustering) is bit-identical either way, and the :class:`DtwStats`
-    describing how the matrix was computed land on the result's
-    ``dtw_stats``.
+    clustering) is bit-identical across workers and kernel tiers, and the
+    :class:`DtwStats` describing how the matrix was computed (including
+    which kernel tier ran) land on the result's ``dtw_stats``.
+    ``dtw_abandon_beyond_k`` turns on threshold seeding in the pairwise
+    matrix; it preserves each row's k-nearest-neighbour structure exactly
+    but censors far-away distances to lower bounds, so only pass it when
+    the downstream linkage tolerates that (medoid assignment does).
     """
     if selection == "top":
         objects = dataset.top_objects(site, category, limit=max_objects, min_requests=min_requests)
@@ -219,7 +225,13 @@ def cluster_popularity_trends(
     window = max(1, dtw_window // max(1, resample_hours))
 
     distances, dtw_stats = pairwise_dtw(
-        dtw_series, window=window, parallel=parallel, max_workers=max_workers, return_stats=True
+        dtw_series,
+        window=window,
+        parallel=parallel,
+        max_workers=max_workers,
+        return_stats=True,
+        abandon_beyond_k=dtw_abandon_beyond_k,
+        kernel=dtw_kernel,
     )
     dendrogram = AgglomerativeClustering(linkage=linkage).fit(distances)
     labels = dendrogram.cut(min(n_clusters, len(objects)))

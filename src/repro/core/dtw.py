@@ -36,8 +36,28 @@ UCR suite (Keogh et al.) popularised:
   distance through the cascade as the abandon threshold, the UCR search
   loop proper.
 
+On top of the PR-1 numpy tier this module layers the compiled tier
+(:mod:`repro.core.dtw_backends`): a numba- or cc-compiled scalar DP kernel
+with in-loop early abandonment, selected by the ``REPRO_DTW_KERNEL``
+environment variable and falling back to the numpy/batched kernels when no
+compiler is available.  All tiers apply the same IEEE-754 operations in
+the same order, so distances stay bit-identical across tiers.  Two further
+pruning layers ride along:
+
+* :func:`lb_improved` — Lemire's two-pass bound, sandwiched between
+  ``lb_keogh`` and the full DP
+  (``lb_kim <= lb_keogh <= lb_improved <= dtw_distance``);
+* **threshold seeding** — ``pairwise_dtw(abandon_beyond_k=k)`` derives
+  per-pair abandon thresholds from the running row structure (each row's
+  k-th-smallest distance so far), so the exact-matrix path early-abandons
+  pairs that provably cannot enter either row's k nearest neighbours; and
+  :func:`dtw_medoid_assignment` assigns series to their nearest medoid
+  with best-so-far thresholds, provably reproducing the brute-force
+  assignment.
+
 :class:`DtwStats` counts how each pair was resolved (pruned by which
-bound, abandoned, or full DP) so benchmark speedups are attributable.
+bound, abandoned, or full DP) and which kernel tier ran, so benchmark
+speedups are attributable.
 """
 
 from __future__ import annotations
@@ -50,14 +70,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.dtw_backends import KERNEL_ENV, kernel_name, resolve_kernel
 from repro.errors import AnalysisError
 
 __all__ = [
     "DtwStats",
+    "KERNEL_ENV",
     "dtw_distance",
     "dtw_distance_batch",
+    "dtw_medoid_assignment",
     "dtw_nearest_neighbor",
     "dtw_path",
+    "kernel_name",
+    "lb_improved",
     "lb_kim",
     "lb_keogh",
     "pairwise_dtw",
@@ -68,6 +93,8 @@ __all__ = [
 WORKERS_ENV = "REPRO_DTW_WORKERS"
 
 _CHUNK_PAIRS = 4096  # pairs per batched-DP chunk (bounds memory and task size)
+_SEED_CHUNK_PAIRS = 256  # smaller chunks when threshold seeding, so the
+# per-row k-th-smallest thresholds tighten between chunks
 
 
 # ---------------------------------------------------------------------------
@@ -85,20 +112,26 @@ class DtwStats:
     thresholded mode (:func:`dtw_distance_batch` with ``abandon_above``,
     :func:`dtw_nearest_neighbor`) they discard pairs whose bound already
     exceeds the threshold.  ``abandoned`` counts DPs that early-abandoned
-    mid-recurrence; ``full_dp`` counts DPs that ran to completion.
+    mid-recurrence (including threshold-seeded abandons in
+    :func:`pairwise_dtw`); ``full_dp`` counts DPs that ran to completion.
+    ``kernel`` names the tier that ran the DPs (``"numba"``, ``"c"`` or
+    ``"numpy"`` — see :mod:`repro.core.dtw_backends`), so speedups are
+    attributable per tier.
     """
 
     pairs_total: int = 0
     pruned_lb_kim: int = 0
     pruned_lb_keogh: int = 0
+    pruned_lb_improved: int = 0
     abandoned: int = 0
     full_dp: int = 0
     wall_seconds: float = 0.0
+    kernel: str = "numpy"
 
     @property
     def pruned(self) -> int:
         """Pairs resolved by a lower bound alone (no DP recurrence at all)."""
-        return self.pruned_lb_kim + self.pruned_lb_keogh
+        return self.pruned_lb_kim + self.pruned_lb_keogh + self.pruned_lb_improved
 
     @property
     def pruned_fraction(self) -> float:
@@ -111,27 +144,33 @@ class DtwStats:
         self.pairs_total += other.pairs_total
         self.pruned_lb_kim += other.pruned_lb_kim
         self.pruned_lb_keogh += other.pruned_lb_keogh
+        self.pruned_lb_improved += other.pruned_lb_improved
         self.abandoned += other.abandoned
         self.full_dp += other.full_dp
         self.wall_seconds += other.wall_seconds
+        if self.kernel == "numpy" and other.kernel != "numpy":
+            self.kernel = other.kernel
 
     def as_dict(self) -> dict[str, float]:
         return {
             "pairs_total": self.pairs_total,
             "pruned_lb_kim": self.pruned_lb_kim,
             "pruned_lb_keogh": self.pruned_lb_keogh,
+            "pruned_lb_improved": self.pruned_lb_improved,
             "abandoned": self.abandoned,
             "full_dp": self.full_dp,
             "pruned_fraction": self.pruned_fraction,
             "wall_seconds": self.wall_seconds,
+            "kernel": self.kernel,
         }
 
     def __str__(self) -> str:
         return (
             f"pairs={self.pairs_total} pruned(kim={self.pruned_lb_kim}, "
-            f"keogh={self.pruned_lb_keogh}) abandoned={self.abandoned} "
-            f"full-dp={self.full_dp} [{self.pruned_fraction:.1%} avoided full DP, "
-            f"{self.wall_seconds:.3f}s]"
+            f"keogh={self.pruned_lb_keogh}, improved={self.pruned_lb_improved}) "
+            f"abandoned={self.abandoned} full-dp={self.full_dp} "
+            f"[{self.pruned_fraction:.1%} avoided full DP, "
+            f"{self.wall_seconds:.3f}s, kernel={self.kernel}]"
         )
 
 
@@ -258,7 +297,11 @@ def dtw_distance(
     """
     a, b = _validate_pair(series_a, series_b)
     band = _effective_band(a.size, b.size, window)
-    result = _dtw_band_scalar(a.tolist(), b.tolist(), band, abandon_above)
+    kernel = resolve_kernel()
+    if kernel is not None:
+        result = kernel.pair(a, b, band, abandon_above)
+    else:
+        result = _dtw_band_scalar(a.tolist(), b.tolist(), band, abandon_above)
     if not math.isfinite(result):
         if abandon_above is not None:
             return math.inf
@@ -379,6 +422,43 @@ def lb_keogh(
     return float(endpoint + (above + below).sum())
 
 
+def lb_improved(
+    series_a: Sequence[float] | np.ndarray,
+    series_b: Sequence[float] | np.ndarray,
+    window: int | None = None,
+) -> float:
+    """Lemire's two-pass lower bound, tighter than :func:`lb_keogh`.
+
+    First pass: the deviation of ``a`` from ``b``'s band envelope (plain
+    LB_Keogh).  Second pass: project ``a`` onto that envelope (``h_i =
+    clip(a_i, lower_i, upper_i)``) and add the deviation of ``b`` from
+    *h*'s envelope.  Each warping-path cell ``(i, j)`` has cost
+    ``|a_i - b_j| = |a_i - h_i| + |h_i - b_j|`` exactly (``b_j`` lies
+    inside the band envelope, ``h_i`` on its boundary), so the two passes
+    never double-count and the sum is a valid lower bound (Lemire,
+    "Faster retrieval with a two-pass dynamic-time-warping lower bound",
+    2009).  The result is maxed with our endpoint-exact :func:`lb_keogh`,
+    giving ``lb_kim <= lb_keogh <= lb_improved <= dtw_distance`` by
+    construction.
+
+    The two-pass refinement applies to equal-length series (the
+    clustering case); for unequal lengths this degrades to
+    :func:`lb_keogh`.
+    """
+    a, b = _validate_pair(series_a, series_b)
+    base = lb_keogh(a, b, window)
+    n, m = a.size, b.size
+    if n != m or n <= 2:
+        return base
+    band = _effective_band(n, m, window)
+    lower, upper = _envelope(b, band, n)
+    first_pass = (np.maximum(a - upper, 0.0) + np.maximum(lower - a, 0.0)).sum()
+    projected = np.clip(a, lower, upper)
+    h_lower, h_upper = _envelope(projected, band, m)
+    second_pass = (np.maximum(b - h_upper, 0.0) + np.maximum(h_lower - b, 0.0)).sum()
+    return float(max(base, first_pass + second_pass))
+
+
 # ---------------------------------------------------------------------------
 # Exact-zero certificate (lossless pruning for the pairwise matrix)
 
@@ -496,6 +576,28 @@ def _dtw_band_batch(
     return out, pairs - indices.size
 
 
+def _kernel_query_stack(
+    kernel,
+    q: np.ndarray,
+    matrix: np.ndarray,
+    band: int,
+    thresholds: np.ndarray | None,
+) -> tuple[np.ndarray, int]:
+    """Run a compiled kernel over one query versus a stack of series."""
+    batch, m = matrix.shape
+    arena = np.concatenate([q, np.ascontiguousarray(matrix).ravel()])
+    lengths = np.full(batch + 1, m, dtype=np.int64)
+    lengths[0] = q.size
+    offsets = np.empty(batch + 1, dtype=np.int64)
+    offsets[0] = 0
+    offsets[1:] = q.size + np.arange(batch, dtype=np.int64) * m
+    rows = np.zeros(batch, dtype=np.int64)
+    cols = np.arange(1, batch + 1, dtype=np.int64)
+    out = np.empty(batch)
+    abandoned = kernel.pairs(arena, offsets, lengths, rows, cols, band, thresholds, out)
+    return out, abandoned
+
+
 def dtw_distance_batch(
     query: Sequence[float] | np.ndarray,
     stack: Sequence[Sequence[float] | np.ndarray] | np.ndarray,
@@ -534,11 +636,16 @@ def dtw_distance_batch(
     if stats is None:
         stats = DtwStats()
     stats.pairs_total += batch
+    stats.kernel = kernel_name()
+    kernel = resolve_kernel()
     start = time.perf_counter()
 
     if abandon_above is None:
-        stack_q = np.broadcast_to(q, (batch, q.size))
-        distances, _ = _dtw_band_batch(stack_q, matrix, band)
+        if kernel is not None:
+            distances, _ = _kernel_query_stack(kernel, q, matrix, band, None)
+        else:
+            stack_q = np.broadcast_to(q, (batch, q.size))
+            distances, _ = _dtw_band_batch(stack_q, matrix, band)
         stats.full_dp += batch
         stats.wall_seconds += time.perf_counter() - start
         return distances
@@ -561,10 +668,27 @@ def dtw_distance_batch(
         dead = keogh > thresholds[survivors]
         stats.pruned_lb_keogh += int(dead.sum())
         alive[survivors[dead]] = False
+    # LB_Improved (two-pass, symmetric): only defined on equal lengths.
+    if alive.any() and q.size == m and q.size > 2:
+        survivors = np.flatnonzero(alive)
+        improved = np.array(
+            [
+                max(lb_improved(q, matrix[k], window), lb_improved(matrix[k], q, window))
+                for k in survivors
+            ]
+        )
+        dead = improved > thresholds[survivors]
+        stats.pruned_lb_improved += int(dead.sum())
+        alive[survivors[dead]] = False
     survivors = np.flatnonzero(alive)
     if survivors.size:
-        stack_q = np.broadcast_to(q, (survivors.size, q.size)).copy()
-        sub, abandoned = _dtw_band_batch(stack_q, matrix[survivors], band, thresholds[survivors])
+        if kernel is not None:
+            sub, abandoned = _kernel_query_stack(
+                kernel, q, matrix[survivors], band, thresholds[survivors]
+            )
+        else:
+            stack_q = np.broadcast_to(q, (survivors.size, q.size)).copy()
+            sub, abandoned = _dtw_band_batch(stack_q, matrix[survivors], band, thresholds[survivors])
         distances[survivors] = sub
         stats.abandoned += abandoned
         stats.full_dp += survivors.size - abandoned
@@ -585,15 +709,19 @@ def dtw_nearest_neighbor(
     """Index and DTW distance of the candidate nearest to ``query``.
 
     Candidates are visited in ascending :func:`lb_kim` order
-    (nearest-first), each gated by the LB cascade against the best-so-far
+    (nearest-first), each gated by the LB cascade (:func:`lb_kim`,
+    :func:`lb_keogh`, then :func:`lb_improved`) against the best-so-far
     distance, and the surviving DPs early-abandon at that threshold — the
-    classic UCR-suite search loop.  The returned distance is exact.
+    classic UCR-suite search loop.  The returned distance is exact, and
+    ties break deterministically towards the lowest candidate index
+    (matching ``np.argmin`` over the brute-force distances).
     """
     if len(candidates) == 0:
         raise AnalysisError("dtw_nearest_neighbor needs at least one candidate")
     q = np.asarray(query, dtype=float)
     stats = DtwStats()
     stats.pairs_total = len(candidates)
+    stats.kernel = kernel_name()
     start = time.perf_counter()
     arrays = [np.asarray(c, dtype=float) for c in candidates]
     kims = np.array([lb_kim(q, c) for c in arrays])
@@ -608,17 +736,63 @@ def dtw_nearest_neighbor(
         if keogh > best:
             stats.pruned_lb_keogh += 1
             continue
+        if q.size == candidate.size and q.size > 2:
+            improved = max(lb_improved(q, candidate, window), lb_improved(candidate, q, window))
+            if improved > best:
+                stats.pruned_lb_improved += 1
+                continue
         distance = dtw_distance(q, candidate, window=window, abandon_above=best)
         if math.isinf(distance):
             stats.abandoned += 1
             continue
         stats.full_dp += 1
-        if distance < best or best_index < 0:
+        if distance < best or best_index < 0 or (distance == best and k < best_index):
             best_index, best = int(k), distance
     stats.wall_seconds = time.perf_counter() - start
     if return_stats:
         return best_index, best, stats
     return best_index, best
+
+
+def dtw_medoid_assignment(
+    series: Sequence[Sequence[float] | np.ndarray],
+    medoids: Sequence[Sequence[float] | np.ndarray],
+    window: int | None = None,
+    return_stats: bool = False,
+) -> tuple[np.ndarray, np.ndarray] | tuple[np.ndarray, np.ndarray, DtwStats]:
+    """Assign every series to its nearest medoid (exact, threshold-seeded).
+
+    The k-medoids assignment step of the paper's clustering pipeline: for
+    each series, find the medoid with the smallest DTW distance.  Each
+    series runs the full UCR cascade of :func:`dtw_nearest_neighbor` —
+    medoids visited nearest-lower-bound-first, the running best seeding
+    the abandon threshold — so most candidate DPs prune or abandon, yet
+    the assignment (index and distance) is **provably identical** to brute
+    force: a candidate is only discarded when its distance is proven
+    strictly greater than the current best, and exact ties resolve to the
+    lowest medoid index, matching ``np.argmin``.
+
+    Returns ``(assignments, distances)`` (both length ``len(series)``),
+    plus the merged :class:`DtwStats` when ``return_stats=True``.
+    """
+    if len(medoids) == 0:
+        raise AnalysisError("dtw_medoid_assignment needs at least one medoid")
+    if len(series) == 0:
+        raise AnalysisError("dtw_medoid_assignment needs at least one series")
+    stats = DtwStats()
+    assignments = np.empty(len(series), dtype=int)
+    distances = np.empty(len(series))
+    for position, one in enumerate(series):
+        index, distance, one_stats = dtw_nearest_neighbor(
+            one, medoids, window=window, return_stats=True
+        )
+        stats.merge(one_stats)
+        assignments[position] = index
+        distances[position] = distance
+    stats.kernel = kernel_name()
+    if return_stats:
+        return assignments, distances, stats
+    return assignments, distances
 
 
 # ---------------------------------------------------------------------------
@@ -642,24 +816,131 @@ def _dp_pairs_chunk(
     pair_rows: np.ndarray,
     pair_cols: np.ndarray,
     window: int | None,
-) -> np.ndarray:
+    thresholds: np.ndarray | None = None,
+    kernel_choice: str | None = None,
+) -> tuple[np.ndarray, int]:
     """Module-level worker for ProcessPoolExecutor (must be picklable).
 
-    Computes exact DTW for one chunk of (row, col) index pairs; the batched
-    kernel when all series share one length (``stacked`` given), otherwise
-    the scalar kernel over pre-converted lists.
+    Computes DTW for one chunk of (row, col) index pairs and returns the
+    distances plus the number of early-abandoned pairs (``inf`` entries;
+    always 0 when ``thresholds`` is None).  The compiled kernel runs the
+    whole chunk in one foreign call when a tier is available
+    (:func:`repro.core.dtw_backends.resolve_kernel` — workers re-resolve,
+    so the selection env var propagates to subprocesses); the numpy tier
+    uses the batched kernel when all series share one length (``stacked``
+    given), otherwise the scalar kernel over pre-converted lists.
     """
+    kernel = resolve_kernel(kernel_choice)
+    if kernel is not None:
+        if stacked is not None:
+            count, m = stacked.shape
+            arena = np.ascontiguousarray(stacked).ravel()
+            lengths = np.full(count, m, dtype=np.int64)
+            offsets = np.arange(count, dtype=np.int64) * m
+            base_band = _effective_band(m, m, window)
+        else:
+            assert arrays is not None
+            lengths = np.array([a.size for a in arrays], dtype=np.int64)
+            offsets = np.concatenate(([0], np.cumsum(lengths)[:-1])).astype(np.int64)
+            arena = np.concatenate(arrays)
+            # The C/numba drivers widen the band per pair to >= |n - m|.
+            base_band = int(lengths.max()) if window is None else window
+        out = np.empty(pair_rows.size)
+        abandoned = kernel.pairs(
+            arena, offsets, lengths, pair_rows, pair_cols, base_band, thresholds, out
+        )
+        return out, abandoned
     if stacked is not None:
         band = _effective_band(stacked.shape[1], stacked.shape[1], window)
-        distances, _ = _dtw_band_batch(stacked[pair_rows], stacked[pair_cols], band)
-        return distances
+        return _dtw_band_batch(stacked[pair_rows], stacked[pair_cols], band, thresholds)
     assert arrays is not None
     lists = {int(k): arrays[int(k)].tolist() for k in np.unique(np.concatenate([pair_rows, pair_cols]))}
     out = np.empty(pair_rows.size)
+    abandoned = 0
     for position, (i, j) in enumerate(zip(pair_rows.tolist(), pair_cols.tolist())):
         band = _effective_band(arrays[i].size, arrays[j].size, window)
-        out[position] = _dtw_band_scalar(lists[i], lists[j], band)
-    return out
+        abandon = None
+        if thresholds is not None and math.isfinite(thresholds[position]):
+            abandon = float(thresholds[position])
+        out[position] = _dtw_band_scalar(lists[i], lists[j], band, abandon)
+        if math.isinf(out[position]):
+            abandoned += 1
+    return out, abandoned
+
+
+def _seeded_dp(
+    stacked: np.ndarray | None,
+    arrays: list[np.ndarray] | None,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    dp_positions: np.ndarray,
+    certified_positions: np.ndarray,
+    window: int | None,
+    k: int,
+    distances: np.ndarray,
+    stats: DtwStats,
+    kernel_choice: str | None = None,
+) -> None:
+    """Threshold-seeded DP sweep for :func:`pairwise_dtw`.
+
+    Processes pairs in small chunks; each pair's abandon threshold is
+    ``max(kth_i, kth_j)`` where ``kth_x`` is row ``x``'s k-th-smallest
+    distance computed so far (``inf`` until k distances are known).  A DP
+    that proves its distance exceeds the threshold abandons and records
+    the threshold — a certified lower bound — instead of the exact value.
+    Losslessness of the row-wise k nearest neighbours: the running k-th
+    smallest only shrinks towards the exact one, and abandonment requires
+    the distance to *strictly* exceed it, so a pair belonging to either
+    row's exact k-NN can never be abandoned.
+    """
+    import heapq
+
+    count = int(max(rows.max(), cols.max())) + 1
+    heaps: list[list[float]] = [[] for _ in range(count)]
+
+    def kth_smallest(row: int) -> float:
+        heap = heaps[row]
+        return -heap[0] if len(heap) >= k else np.inf
+
+    def record(row: int, value: float) -> None:
+        heap = heaps[row]
+        heapq.heappush(heap, -value)
+        if len(heap) > k:
+            heapq.heappop(heap)
+
+    # Zero-certified pairs are exact distances too: let them tighten the
+    # thresholds from the start.
+    for position in certified_positions.tolist():
+        record(int(rows[position]), float(distances[position]))
+        record(int(cols[position]), float(distances[position]))
+
+    for offset in range(0, dp_positions.size, _SEED_CHUNK_PAIRS):
+        chunk = dp_positions[offset : offset + _SEED_CHUNK_PAIRS]
+        chunk_rows = rows[chunk]
+        chunk_cols = cols[chunk]
+        thresholds = np.array(
+            [
+                max(kth_smallest(int(i)), kth_smallest(int(j)))
+                for i, j in zip(chunk_rows.tolist(), chunk_cols.tolist())
+            ]
+        )
+        sub, abandoned = _dp_pairs_chunk(
+            stacked, arrays, chunk_rows, chunk_cols, window, thresholds, kernel_choice
+        )
+        stats.abandoned += abandoned
+        stats.full_dp -= abandoned
+        censored = np.isinf(sub)
+        if censored.any():
+            # The DP proved dtw > threshold strictly, so the next float up
+            # is still a certified lower bound — and, unlike the threshold
+            # itself, can never tie with a row's exact k-th-smallest entry
+            # (which equals the threshold at the boundary).
+            sub = np.where(censored, np.nextafter(thresholds, np.inf), sub)
+        distances[chunk] = sub
+        for position, (i, j) in enumerate(zip(chunk_rows.tolist(), chunk_cols.tolist())):
+            if not censored[position]:
+                record(int(i), float(sub[position]))
+                record(int(j), float(sub[position]))
 
 
 def pairwise_dtw(
@@ -669,6 +950,8 @@ def pairwise_dtw(
     max_workers: int | None = None,
     order: str = "nearest-first",
     return_stats: bool = False,
+    abandon_beyond_k: int | None = None,
+    kernel: str | None = None,
 ) -> np.ndarray | tuple[np.ndarray, DtwStats]:
     """Symmetric pairwise DTW distance matrix over a list of series.
 
@@ -698,6 +981,19 @@ def pairwise_dtw(
     values), ``"index"`` keeps upper-triangle order.  With
     ``return_stats=True`` the matrix comes back with the :class:`DtwStats`
     describing how pairs were resolved.
+
+    ``abandon_beyond_k`` turns on **threshold seeding**: pairs are
+    processed in chunks and each pair's abandon threshold is the larger of
+    its two rows' running k-th-smallest distances, so a DP early-abandons
+    as soon as it proves the pair cannot enter *either* row's k nearest
+    neighbours.  The guarantee is row-wise k-NN exactness: for every row,
+    the k smallest off-diagonal entries (positions and values) match the
+    exact matrix bit for bit — in particular nearest-medoid assignments
+    over any medoid subset drawn from a row's k nearest are unchanged.
+    Abandoned entries store their certified lower bound (the threshold at
+    abandon time, always >= the row's exact k-th-smallest distance) and
+    count in ``stats.abandoned``.  Seeding is sequential by nature (the
+    thresholds are running state), so it ignores ``parallel``.
     """
     count = len(series)
     if count == 0:
@@ -713,8 +1009,11 @@ def pairwise_dtw(
             raise AnalysisError("DTW requires non-empty series")
     if window is not None and window < 0:
         raise AnalysisError(f"window must be non-negative, got {window}")
+    if abandon_beyond_k is not None and abandon_beyond_k < 1:
+        raise AnalysisError(f"abandon_beyond_k must be >= 1, got {abandon_beyond_k}")
 
     stats = DtwStats()
+    stats.kernel = kernel_name(kernel)
     matrix = np.zeros((count, count))
     rows, cols = np.triu_indices(count, k=1)
     stats.pairs_total = rows.size
@@ -732,6 +1031,29 @@ def pairwise_dtw(
     distances = np.zeros(rows.size)
     needs_dp = np.ones(rows.size, dtype=bool)
     profiles = [_nonzero_profile(a) for a in arrays]
+
+    # Envelopes depend only on one series (equal lengths share one band),
+    # so cache them per index: sparse real traces put *many* pairs through
+    # the kim == 0 candidate loop, and recomputing the envelope inside
+    # every lb_keogh call used to dominate the whole matrix wall time.
+    envelopes: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _keogh_cached(i: int, j: int) -> float:
+        a, b = arrays[i], arrays[j]
+        if not equal_length or a.size <= 2:
+            return lb_keogh(a, b, window)
+        env = envelopes.get(j)
+        if env is None:
+            env = _envelope(b, _effective_band(b.size, b.size, window), a.size)
+            envelopes[j] = env
+        # Identical operations to lb_keogh, envelope reused.
+        lower, upper = env
+        endpoint = abs(a[0] - b[0]) + abs(a[-1] - b[-1])
+        interior = slice(1, a.size - 1)
+        above = np.maximum(a[interior] - upper[interior], 0.0)
+        below = np.maximum(lower[interior] - a[interior], 0.0)
+        return float(endpoint + (above + below).sum())
+
     for position in np.flatnonzero(kim == 0.0):
         i, j = int(rows[position]), int(cols[position])
         a, b = arrays[i], arrays[j]
@@ -741,8 +1063,8 @@ def pairwise_dtw(
             continue
         band = _effective_band(a.size, b.size, window)
         if (
-            lb_keogh(a, b, window) == 0.0
-            and lb_keogh(b, a, window) == 0.0
+            _keogh_cached(i, j) == 0.0
+            and _keogh_cached(j, i) == 0.0
             and _zero_alignment(a, b, band, profiles[i], profiles[j])
         ):
             needs_dp[position] = False  # zero-cost path certified: exactly 0
@@ -754,7 +1076,21 @@ def pairwise_dtw(
         dp_positions = dp_positions[np.argsort(kim[dp_positions], kind="stable")]
 
     # --- Full DP for the rest, batched in chunks -------------------------
-    if dp_positions.size:
+    if dp_positions.size and abandon_beyond_k is not None:
+        _seeded_dp(
+            stacked,
+            None if equal_length else arrays,
+            rows,
+            cols,
+            dp_positions,
+            np.flatnonzero(~needs_dp),
+            window,
+            abandon_beyond_k,
+            distances,
+            stats,
+            kernel,
+        )
+    elif dp_positions.size:
         chunks = [
             dp_positions[offset : offset + _CHUNK_PAIRS]
             for offset in range(0, dp_positions.size, _CHUNK_PAIRS)
@@ -772,15 +1108,18 @@ def pairwise_dtw(
                         rows[chunk],
                         cols[chunk],
                         window,
+                        None,
+                        kernel,
                     ): chunk
                     for chunk in chunks
                 }
                 for future in concurrent.futures.as_completed(futures):
-                    distances[futures[future]] = future.result()
+                    distances[futures[future]], _ = future.result()
         else:
             for chunk in chunks:
-                distances[chunk] = _dp_pairs_chunk(
-                    stacked, None if equal_length else arrays, rows[chunk], cols[chunk], window
+                distances[chunk], _ = _dp_pairs_chunk(
+                    stacked, None if equal_length else arrays, rows[chunk], cols[chunk], window,
+                    None, kernel
                 )
 
     matrix[rows, cols] = distances

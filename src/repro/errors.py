@@ -25,6 +25,17 @@ class TraceFormatError(TraceError):
     """A serialised trace record or file could not be parsed."""
 
 
+class TraceTruncationError(TraceFormatError):
+    """A binary record extends past the bytes available so far.
+
+    Raised by :func:`repro.trace.schema.unpack_record` when the buffer ends
+    mid-record.  Streaming readers treat it as "need more bytes" and retry
+    after the next read; only at end-of-file does it mean the trace was
+    actually truncated.  Genuine corruption (bytes present but invalid)
+    raises plain :class:`TraceFormatError` instead.
+    """
+
+
 class TraceSchemaError(TraceError):
     """A record is missing fields or holds values outside the schema."""
 

@@ -74,6 +74,24 @@ class _Counter:
     error: int
 
 
+class _Bucket:
+    """Stream-summary node: all keys currently sharing one estimate.
+
+    Buckets form a doubly-linked list in strictly increasing ``count``
+    order, so the minimum-count bucket is always the head — eviction never
+    scans the counter table.  ``keys`` is a dict used as an ordered set
+    (insertion order = order the keys reached this count).
+    """
+
+    __slots__ = ("count", "keys", "prev", "next")
+
+    def __init__(self, count: int):
+        self.count = count
+        self.keys: dict[Hashable, None] = {}
+        self.prev: _Bucket | None = None
+        self.next: _Bucket | None = None
+
+
 class P2Quantile:
     """Streaming quantile estimation via the P² algorithm (Jain & Chlamtac).
 
@@ -174,6 +192,15 @@ class SpaceSavingTopK:
     table full, the minimum counter is evicted and its count inherited as
     the newcomer's error bound.  Guarantees every key with true frequency
     above ``N / capacity`` is present.
+
+    Counters live in the Metwally et al. *stream-summary* structure: a
+    doubly-linked list of count buckets in increasing order, with each key
+    attached to the bucket holding its current estimate.  The eviction
+    victim is read off the head (minimum) bucket in O(1), where the naive
+    layout needs an O(capacity) min-scan per eviction — quadratic on an
+    adversarial stream of all-distinct keys.  Increments move a key at
+    most one bucket hop per count step observed, O(1) for the unit-count
+    updates the trace analyses issue.
     """
 
     def __init__(self, capacity: int):
@@ -181,20 +208,87 @@ class SpaceSavingTopK:
             raise ValueError(f"top-k capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
         self._counters: dict[Hashable, _Counter] = {}
+        self._buckets: dict[Hashable, _Bucket] = {}
+        self._head: _Bucket | None = None
         self.total = 0
 
+    # -- stream-summary plumbing --------------------------------------------
+
+    def _unlink(self, bucket: _Bucket) -> None:
+        if bucket.prev is not None:
+            bucket.prev.next = bucket.next
+        else:
+            self._head = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+
+    def _insert_after(self, bucket: _Bucket, prev: _Bucket | None) -> None:
+        if prev is None:
+            bucket.prev = None
+            bucket.next = self._head
+            if self._head is not None:
+                self._head.prev = bucket
+            self._head = bucket
+        else:
+            bucket.prev = prev
+            bucket.next = prev.next
+            if prev.next is not None:
+                prev.next.prev = bucket
+            prev.next = bucket
+
+    def _place(self, key: Hashable, count: int, anchor: _Bucket | None) -> None:
+        """Attach ``key`` to the bucket for ``count``, walking from ``anchor``.
+
+        ``anchor`` is a bucket known to hold a smaller count (or ``None``
+        to start at the head); the walk only crosses buckets with counts
+        in between, so unit increments hop at most one bucket.
+        """
+        prev = anchor
+        nxt = self._head if prev is None else prev.next
+        while nxt is not None and nxt.count < count:
+            prev = nxt
+            nxt = nxt.next
+        if nxt is not None and nxt.count == count:
+            nxt.keys[key] = None
+            self._buckets[key] = nxt
+            return
+        bucket = _Bucket(count)
+        bucket.keys[key] = None
+        self._insert_after(bucket, prev)
+        self._buckets[key] = bucket
+
+    def _detach(self, key: Hashable) -> _Bucket | None:
+        """Remove ``key`` from its bucket; returns the walk anchor."""
+        bucket = self._buckets.pop(key)
+        del bucket.keys[key]
+        if bucket.keys:
+            return bucket
+        anchor = bucket.prev
+        self._unlink(bucket)
+        return anchor
+
+    # -- updates -------------------------------------------------------------
+
     def add(self, key: Hashable, count: int = 1) -> None:
+        if count < 1:
+            raise ValueError(f"count must be a positive increment, got {count}")
         self.total += count
         counter = self._counters.get(key)
         if counter is not None:
             counter.count += count
+            self._place(key, counter.count, self._detach(key))
             return
         if len(self._counters) < self.capacity:
             self._counters[key] = _Counter(count=count, error=0)
+            self._place(key, count, None)
             return
-        victim_key = min(self._counters, key=lambda k: self._counters[k].count)
+        head = self._head
+        assert head is not None  # table is full, so buckets are non-empty
+        victim_key = next(iter(head.keys))
         victim = self._counters.pop(victim_key)
+        anchor = self._detach(victim_key)
         self._counters[key] = _Counter(count=victim.count + count, error=victim.count)
+        self._place(key, victim.count + count, anchor)
 
     def extend(self, keys: Iterable[Hashable]) -> None:
         for key in keys:

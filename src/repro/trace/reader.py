@@ -15,7 +15,7 @@ from collections.abc import Iterator
 from pathlib import Path
 from typing import IO
 
-from repro.errors import TraceFormatError
+from repro.errors import TraceFormatError, TraceTruncationError
 from repro.trace import schema
 from repro.trace.record import LogRecord
 from repro.types import ContentCategory
@@ -129,6 +129,9 @@ class TraceReader:
             (version,) = struct.unpack("<H", handle.read(2))
             if version != schema.BINARY_VERSION:
                 raise TraceFormatError(f"{self.path.name}: unsupported binary trace version {version}")
+            # Absolute file offset of buffer[0]; keeps error messages
+            # pointing at the real byte position even across chunk reads.
+            consumed = len(schema.BINARY_MAGIC) + 2
             buffer = b""
             while True:
                 chunk = handle.read(_BINARY_CHUNK)
@@ -139,13 +142,21 @@ class TraceReader:
                 while True:
                     try:
                         record, next_offset = schema.unpack_record(buffer, offset)
-                    except TraceFormatError:
-                        break  # need more bytes
+                    except TraceTruncationError:
+                        break  # need more bytes; retry after the next read
+                    except TraceFormatError as exc:
+                        raise TraceFormatError(
+                            f"{self.path.name}: corrupt record at byte {consumed + offset}: {exc}"
+                        ) from exc
                     yield record
                     offset = next_offset
+                consumed += offset
                 buffer = buffer[offset:]
             if buffer:
-                raise TraceFormatError(f"{self.path.name}: {len(buffer)} trailing bytes (truncated record)")
+                raise TraceTruncationError(
+                    f"{self.path.name}: truncated record at byte {consumed} "
+                    f"({len(buffer)} trailing bytes)"
+                )
 
 
 def read_trace(path: str | Path, **kwargs: object) -> list[LogRecord]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 import struct
 from typing import Any
 
-from repro.errors import TraceFormatError
+from repro.errors import TraceFormatError, TraceTruncationError
 from repro.trace.record import LogRecord
 from repro.types import CacheStatus
 
@@ -151,21 +151,42 @@ def pack_record(record: LogRecord) -> bytes:
 def unpack_record(buffer: bytes, offset: int = 0) -> tuple[LogRecord, int]:
     """Parse one binary record starting at ``offset``.
 
-    Returns the record and the offset just past it.
+    Returns the record and the offset just past it.  A record that extends
+    past the end of ``buffer`` raises :class:`TraceTruncationError` (the
+    caller may retry with more bytes); bytes that are fully present but
+    invalid raise plain :class:`TraceFormatError` (corruption — more bytes
+    will not help).  Offsets in messages are relative to ``buffer``.
     """
     try:
         timestamp, object_size, bytes_served, status_code, chunk_index, hit_flag = _FIXED.unpack_from(buffer, offset)
-        cursor = offset + _FIXED.size
-        strings = []
-        for _ in range(6):
-            (length,) = struct.unpack_from("<H", buffer, cursor)
-            cursor += 2
-            if cursor + length > len(buffer):
-                raise TraceFormatError(f"truncated string field at offset {cursor}")
+    except struct.error as exc:
+        raise TraceTruncationError(
+            f"record header extends past the available bytes at offset {offset}"
+        ) from exc
+    if hit_flag > 1:
+        raise TraceFormatError(
+            f"corrupt binary record at offset {offset}: cache-status flag {hit_flag} (expected 0 or 1)"
+        )
+    cursor = offset + _FIXED.size
+    strings = []
+    for _ in range(6):
+        if cursor + 2 > len(buffer):
+            raise TraceTruncationError(
+                f"string length prefix extends past the available bytes at offset {cursor}"
+            )
+        (length,) = struct.unpack_from("<H", buffer, cursor)
+        cursor += 2
+        if cursor + length > len(buffer):
+            raise TraceTruncationError(
+                f"string field extends past the available bytes at offset {cursor}"
+            )
+        try:
             strings.append(buffer[cursor : cursor + length].decode("utf-8"))
-            cursor += length
-    except (struct.error, UnicodeDecodeError) as exc:
-        raise TraceFormatError(f"truncated or corrupt binary record at offset {offset}") from exc
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                f"corrupt binary record at offset {offset}: invalid UTF-8 in string field at offset {cursor}"
+            ) from exc
+        cursor += length
     site, object_id, extension, user_id, user_agent, datacenter = strings
     record = LogRecord(
         timestamp=timestamp,

@@ -45,9 +45,17 @@ def hourly_start_distribution(
     A user at UTC offset ``k`` behaves by local clock: their local-hour
     cycle, viewed on the UTC trace grid, is the site cycle shifted left by
     ``k`` hours (local hour ``h`` happens at UTC hour ``h - k``).
+
+    The shift is taken on the weekly cycle (the site rate is periodic in
+    7x24 hours), *not* by rolling the ``duration_hours`` grid: a roll over
+    a grid that is not a whole number of days would wrap the first hours'
+    mass onto the tail of the trace, handing e.g. Saturday-morning demand
+    to the final partial day.
     """
-    local_rate = site_hourly_rate(duration_hours, profile.peak_local_hour, profile.diurnal_amplitude)
-    utc_rate = np.roll(local_rate, -utc_offset_hours)
+    week_hours = 7 * 24
+    week_rate = site_hourly_rate(week_hours, profile.peak_local_hour, profile.diurnal_amplitude)
+    local_hours = (np.arange(duration_hours) + utc_offset_hours) % week_hours
+    utc_rate = week_rate[local_hours]
     return utc_rate / utc_rate.sum()
 
 
@@ -119,11 +127,16 @@ def plan_session(
     duration_seconds: float,
     rng: np.random.Generator,
 ) -> SessionPlan:
-    """Plan one session's request timestamps for a user."""
+    """Plan one session's request timestamps for a user.
+
+    Requests at/after ``duration_seconds`` fall outside the trace window
+    and are dropped; a session whose *start* already falls outside the
+    window therefore plans zero requests (``request_times`` empty) rather
+    than fabricating a request at an arbitrary — possibly negative —
+    in-window time.
+    """
     n_requests = int(sample_request_counts(1, single_fraction, multi_mean_requests, rng)[0])
     gaps = sample_think_times(n_requests - 1, mean_think_s, rng)
     times = start_time + np.concatenate(([0.0], np.cumsum(gaps)))
     times = times[times < duration_seconds]
-    if times.size == 0:
-        times = np.array([min(start_time, duration_seconds - 1.0)])
     return SessionPlan(user_index=user_index, start_time=start_time, request_times=times)

@@ -131,6 +131,28 @@ class TestTtl:
         # Freshness window restarted:
         assert cache.lookup("a", 200.0, revalidate_version=7) is not None
 
+    def test_revalidation_restarts_validated_age(self):
+        # Regression: a 304-revalidated entry restarted its freshness
+        # window but kept the original ``stored_at`` as its only age
+        # anchor, so content-age analyses (Fig. 7) over-reported the age
+        # of revalidated entries.
+        cache = lru_cache()
+        cache.insert("a", 10, 0.0, ttl=100.0, version=7)
+        entry = cache.peek("a")
+        assert entry.revalidated_at is None
+        assert entry.validated_age(60.0) == 60.0
+        entry = cache.lookup("a", 150.0, revalidate_version=7)
+        # The origin just vouched for the bytes: validated age restarts,
+        # while stored_at keeps recording the original insert time.
+        assert entry.revalidated_at == 150.0
+        assert entry.stored_at == 0.0
+        assert entry.validated_age(150.0) == 0.0
+        assert entry.validated_age(180.0) == 30.0
+        # A second revalidation moves the anchor again.
+        cache.lookup("a", 300.0, revalidate_version=7)
+        assert entry.validated_age(310.0) == 10.0
+        assert cache.stats.revalidations == 2
+
     def test_stale_revalidation_drops_on_version_mismatch(self):
         cache = lru_cache()
         cache.insert("a", 10, 0.0, ttl=100.0, version=7)

@@ -94,6 +94,98 @@ class TestSpaceSavingTopK:
         topk.add("y", count=3)
         assert topk.total == 10
 
+    def test_matches_naive_min_scan_reference(self):
+        # Regression for the stream-summary rewrite: the bucketed structure
+        # must produce the same estimates as the textbook implementation
+        # that min-scans the counter table on every eviction.  Which of
+        # several *tied* minimum counters gets evicted is tie-arbitrary, so
+        # we compare what the algorithm actually guarantees: the multiset
+        # of tracked counts and the identity of the clear heavy hitters.
+
+        class NaiveSpaceSaving:
+            def __init__(self, capacity):
+                self.capacity = capacity
+                self.counters = {}
+
+            def add(self, key):
+                if key in self.counters:
+                    self.counters[key][0] += 1
+                    return
+                if len(self.counters) < self.capacity:
+                    self.counters[key] = [1, 0]
+                    return
+                victim_key = min(self.counters, key=lambda k: self.counters[k][0])
+                victim = self.counters.pop(victim_key)
+                self.counters[key] = [victim[0] + 1, victim[0]]
+
+        rng = np.random.default_rng(5)
+        stream = [f"k{int(z)}" for z in rng.zipf(1.3, size=20_000)]
+        fast = SpaceSavingTopK(50)
+        naive = NaiveSpaceSaving(50)
+        for key in stream:
+            fast.add(key)
+            naive.add(key)
+        fast_counts = sorted(count for _, count in fast.top())
+        naive_counts = sorted(count for count, _ in naive.counters.values())
+        assert fast_counts == naive_counts
+        naive_top = [
+            key for key, _ in sorted(naive.counters.items(), key=lambda kv: -kv[1][0])[:10]
+        ]
+        assert [key for key, _ in fast.top(10)] == naive_top
+
+    def test_eviction_sequence_unchanged_when_minimum_is_unique(self):
+        # With a unique minimum at every eviction the whole trajectory is
+        # deterministic; pin the exact top()/guaranteed_count() results the
+        # pre-rewrite implementation produced.
+        topk = SpaceSavingTopK(3)
+        topk.extend(["a"] * 10 + ["b"] * 8 + ["c"] * 5)
+        topk.add("d")  # evicts c (5): d = 6, error 5
+        topk.add("e")  # evicts d (6): e = 7, error 6
+        topk.add("f")  # evicts e (7): f = 8, error 7
+        assert topk.top() == [("a", 10), ("b", 8), ("f", 8)]
+        assert topk.guaranteed_count("a") == 10
+        assert topk.guaranteed_count("b") == 8
+        assert topk.guaranteed_count("f") == 1
+        assert topk.guaranteed_count("c") == 0
+        assert topk.total == 26
+
+    def test_adversarial_distinct_stream_stays_fast(self):
+        # Perf regression: every add past capacity evicts, and the eviction
+        # used to min-scan all `capacity` counters — quadratic on a stream
+        # of all-distinct keys.  The bucketed structure handles the same
+        # stream in roughly linear time; generously bounded here so the
+        # test stays robust on slow machines while still failing the old
+        # quadratic implementation by an order of magnitude.
+        import time
+
+        topk = SpaceSavingTopK(2000)
+        start = time.perf_counter()
+        for i in range(100_000):
+            topk.add(i)
+        elapsed = time.perf_counter() - start
+        assert len(topk) == 2000
+        assert topk.total == 100_000
+        assert elapsed < 5.0  # old implementation: ~2e8 scan steps
+
+    def test_nonpositive_count_rejected(self):
+        topk = SpaceSavingTopK(2)
+        with pytest.raises(ValueError):
+            topk.add("a", count=0)
+        with pytest.raises(ValueError):
+            topk.add("a", count=-3)
+
+    def test_bulk_counts_keep_bucket_order(self):
+        # count > 1 increments walk the bucket list; the ordering invariant
+        # (and therefore min-eviction) must survive interleaved bulk adds.
+        topk = SpaceSavingTopK(3)
+        topk.add("a", count=7)
+        topk.add("b", count=2)
+        topk.add("c", count=9)
+        topk.add("b", count=4)  # b: 2 -> 6, hops past no bucket, lands between
+        topk.add("d", count=1)  # evicts b (6): d = 7, error 6
+        assert topk.top() == [("c", 9), ("a", 7), ("d", 7)]
+        assert topk.guaranteed_count("d") == 1
+
     def test_guaranteed_count_of_untracked_is_zero(self):
         topk = SpaceSavingTopK(2)
         topk.extend(["a", "b"])

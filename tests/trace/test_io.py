@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import struct
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import TraceFormatError
+from repro.errors import TraceFormatError, TraceTruncationError
 from repro.trace import schema
 from repro.trace.reader import TraceReader, read_trace
 from repro.trace.record import LogRecord
@@ -163,6 +165,66 @@ class TestReader:
         path.write_bytes(data[:-4])
         with pytest.raises(TraceFormatError):
             list(TraceReader(path))
+
+    @staticmethod
+    def _binary_parts(records):
+        header = schema.BINARY_MAGIC + struct.pack("<H", schema.BINARY_VERSION)
+        return header, [schema.pack_record(r) for r in records]
+
+    def test_truncation_reported_with_byte_offset(self, tmp_path):
+        # A genuinely truncated file raises TraceTruncationError naming the
+        # byte offset where the cut-off record starts.
+        header, packed = self._binary_parts(sample_records(3))
+        path = tmp_path / "t.bin"
+        path.write_bytes(header + packed[0] + packed[1] + packed[2][:-4])
+        records = []
+        with pytest.raises(TraceTruncationError) as excinfo:
+            for record in TraceReader(path):
+                records.append(record)
+        # Everything before the truncated record was still yielded.
+        assert len(records) == 2
+        expected_offset = len(header) + len(packed[0]) + len(packed[1])
+        assert f"byte {expected_offset}" in str(excinfo.value)
+
+    def test_midfile_corruption_distinguished_from_short_read(self, tmp_path):
+        # Regression: a corrupt record used to be indistinguishable from a
+        # short read, so corruption was buffered to EOF and misreported as
+        # trailing bytes.  Invalid UTF-8 in a string field must surface as
+        # a plain TraceFormatError (not TraceTruncationError) at the
+        # corrupt record's byte offset, after yielding the good records.
+        header, packed = self._binary_parts(sample_records(3))
+        bad = bytearray(packed[1])
+        bad[schema._FIXED.size + 2] = 0xFF  # first byte of the site string
+        path = tmp_path / "t.bin"
+        path.write_bytes(header + packed[0] + bytes(bad) + packed[2])
+        records = []
+        with pytest.raises(TraceFormatError) as excinfo:
+            for record in TraceReader(path):
+                records.append(record)
+        assert not isinstance(excinfo.value, TraceTruncationError)
+        assert len(records) == 1
+        assert f"byte {len(header) + len(packed[0])}" in str(excinfo.value)
+        assert "UTF-8" in str(excinfo.value)
+
+    def test_corrupt_fixed_header_flag_rejected(self, tmp_path):
+        header, packed = self._binary_parts(sample_records(2))
+        bad = bytearray(packed[0])
+        bad[schema._FIXED.size - 1] = 7  # cache-status flag: only 0/1 valid
+        path = tmp_path / "t.bin"
+        path.write_bytes(header + bytes(bad) + packed[1])
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(TraceReader(path))
+        assert not isinstance(excinfo.value, TraceTruncationError)
+        assert "cache-status flag" in str(excinfo.value)
+
+    def test_unpack_record_short_buffer_raises_truncation(self):
+        packed = schema.pack_record(sample_records(1)[0])
+        for cut in (1, schema._FIXED.size - 1, schema._FIXED.size + 1, len(packed) - 1):
+            with pytest.raises(TraceTruncationError):
+                schema.unpack_record(packed[:cut])
+        # The full buffer parses cleanly.
+        record, end = schema.unpack_record(packed)
+        assert end == len(packed)
 
     def test_bad_csv_header_rejected(self, tmp_path):
         path = tmp_path / "t.csv"

@@ -35,6 +35,19 @@ class TestStartDistribution:
         shifted_peak = int(np.argmax(shifted[:24]))
         assert (base_peak - shifted_peak) % 24 == 8
 
+    def test_partial_day_does_not_wrap_week_boundary(self):
+        # Regression: the UTC shift used to np.roll the full duration grid,
+        # so a trace that is not a whole number of days wrapped the first
+        # hours' mass onto its tail.  A partial-week trace must match the
+        # prefix of the full-week distribution (renormalised).
+        profile = profile_v1()
+        for offset in (-5, 8):
+            week = hourly_start_distribution(profile, 168, offset)
+            for hours in (36, 100):
+                partial = hourly_start_distribution(profile, hours, offset)
+                expected = week[:hours] / week[:hours].sum()
+                assert partial == pytest.approx(expected)
+
     def test_all_continents_supported(self):
         profile = profile_p1()
         for continent in Continent:
@@ -107,6 +120,20 @@ class TestPlanSession:
         plan = plan_session(0, 604799.5, 0.0, 5.0, 60.0, 604800.0, make_rng(1))
         assert plan.request_times.size >= 1
 
+    def test_out_of_window_session_plans_no_requests(self):
+        # Regression: a session starting at/after the trace end used to
+        # fabricate a phantom request at ``duration_seconds - 1.0``.
+        for start in (604800.0, 604800.1, 1e9):
+            plan = plan_session(0, start, 0.0, 5.0, 60.0, 604800.0, make_rng(2))
+            assert plan.request_times.size == 0
+            assert plan.start_time == start
+
+    def test_subsecond_trace_never_yields_negative_times(self):
+        # Regression: with a trace shorter than 1 s, the phantom request
+        # landed at the *negative* time ``duration_seconds - 1.0``.
+        plan = plan_session(0, 0.5, 0.0, 5.0, 60.0, 0.25, make_rng(3))
+        assert plan.request_times.size == 0
+
     def test_planned_gaps_stay_within_session_timeout(self):
         for seed in range(30):
             plan = plan_session(0, 0.0, 0.0, 8.0, 200.0, 604800.0, make_rng(seed))
@@ -123,3 +150,4 @@ class TestPlanSession:
         plan = plan_session(0, start, single, mean, 60.0, 604800.0, make_rng(0))
         assert plan.request_times.size >= 1
         assert np.all(plan.request_times < 604800.0)
+        assert np.all(plan.request_times >= start)
