@@ -1,0 +1,87 @@
+"""Ingest throughput: columnar batch engine vs record-at-a-time reference.
+
+Times how fast :class:`~repro.core.dataset.TraceDataset` builds its
+indices from the standard small-scale benchmark trace via both engines:
+
+* ``from_batches`` — the production path; the pipeline already emits
+  columnar :class:`~repro.trace.batch.RecordBatch` blocks and the indices
+  are built with vectorised group-bys.
+* ``from_records(engine="record")`` — the scalar reference loop.
+
+The acceptance bar for the columnar refactor is a >= 5x ingest speedup;
+both the raw timings and the derived records/s land in
+``BENCH_results.json`` via :func:`conftest.record_extra`.  The lazily
+materialised python-object views are also timed (``batch_full_seconds``)
+so the record is honest about total cost when every index is touched.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_header, record_extra
+
+from repro.core.dataset import TraceDataset
+
+
+def _best_of(build, repeat: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        build()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_ingest_throughput(pipeline_result):
+    batches = list(pipeline_result.batches)
+    records = [record for batch in batches for record in batch.iter_records()]
+    # Column-only copies: the production reader path never carries record
+    # objects, so the timed ingest must not get a cached-record assist.
+    stripped = [batch.rows(0, len(batch)).drop_records() for batch in batches]
+    total = len(records)
+
+    record_seconds = _best_of(lambda: TraceDataset.from_records(records, engine="record"))
+    batch_seconds = _best_of(lambda: TraceDataset.from_batches(stripped))
+
+    def full_build():
+        dataset = TraceDataset.from_batches(stripped)
+        dataset.object_stats
+        dataset._user_times
+
+    full_seconds = _best_of(full_build)
+    speedup = record_seconds / batch_seconds
+
+    # Equivalence spot checks: both engines index the trace identically.
+    reference = TraceDataset.from_records(records, engine="record")
+    columnar = TraceDataset.from_batches(stripped)
+    assert len(reference) == len(columnar) == total
+    assert reference.sites == columnar.sites
+    assert reference.duration_seconds == columnar.duration_seconds
+    assert list(reference.object_stats) == list(columnar.object_stats)
+    some_object = next(iter(reference.object_stats))
+    assert reference.object_stats[some_object] == columnar.object_stats[some_object]
+
+    print_header(
+        "Ingest throughput — columnar batches vs record-at-a-time",
+        "columnar ingest >= 5x faster than the scalar reference loop",
+    )
+    print(f"  trace: {total} records in {len(batches)} batches")
+    print(f"  record engine: {record_seconds:8.3f}s  {total / record_seconds:12,.0f} records/s")
+    print(f"  batch ingest:  {batch_seconds:8.3f}s  {total / batch_seconds:12,.0f} records/s")
+    print(f"  batch + materialised views: {full_seconds:8.3f}s")
+    print(f"  ingest speedup: {speedup:.1f}x")
+
+    record_extra(
+        "ingest_throughput",
+        ingest={
+            "records": total,
+            "record_seconds": round(record_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "batch_full_seconds": round(full_seconds, 6),
+            "record_per_s": round(total / record_seconds, 1),
+            "batch_per_s": round(total / batch_seconds, 1),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup >= 5.0

@@ -38,10 +38,22 @@ from repro.cdn.routing import Router
 from repro.cdn.server import EdgeServer
 from repro.stats.sampling import make_rng
 from repro.trace.anonymize import Anonymizer
+from repro.trace.batch import DEFAULT_BATCH_SIZE, RecordBatch, iter_record_batches
 from repro.trace.record import LogRecord
 from repro.types import CacheStatus, Continent, ContentCategory
 from repro.workload.generator import Request
 from repro.workload.profiles import SiteProfile
+
+
+def _flatten_requests(
+    requests: Iterable[Request] | Iterable[list[Request]],
+) -> Iterator[Request]:
+    """Accept a flat request stream or a stream of request lists."""
+    for item in requests:
+        if isinstance(item, list):
+            yield from item
+        else:
+            yield item
 
 
 @dataclass
@@ -187,6 +199,23 @@ class CdnSimulator:
             record = self.serve(request)
             if record is not None:
                 yield record
+
+    def run_batches(
+        self,
+        requests: Iterable[Request] | Iterable[list[Request]],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator[RecordBatch]:
+        """Process requests and yield columnar :class:`RecordBatch` blocks.
+
+        Accepts either a flat request stream or the chunked stream from
+        :meth:`~repro.workload.generator.WorkloadGenerator.merged_request_batches`;
+        both are served through the same per-request machinery, so the
+        emitted records are identical to :meth:`run`'s.  This is the
+        production path into :meth:`repro.core.dataset.TraceDataset.from_batches`.
+        """
+        yield from iter_record_batches(
+            self.run(_flatten_requests(requests)), batch_size=batch_size
+        )
 
     def warm(self, catalogs: Iterable) -> int:
         """Pre-fill every edge cache with popular pre-existing objects.

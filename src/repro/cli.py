@@ -19,6 +19,8 @@ from repro.cdn.policies import policy_names
 from repro.core.dataset import TraceDataset
 from repro.core.report import Study
 from repro.pipeline import generate_trace_file, run_pipeline, run_study
+from repro.trace.batch import DEFAULT_BATCH_SIZE
+from repro.trace.reader import TraceReader, read_trace
 from repro.workload.scale import ScaleConfig
 
 _SCALES = {"tiny": ScaleConfig.tiny, "small": ScaleConfig.small, "medium": ScaleConfig.medium}
@@ -58,6 +60,32 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--trace", required=True, help="trace file written by `repro generate`")
     ana.add_argument("--no-clustering", action="store_true", help="skip the O(n^2) DTW clustering")
     ana.add_argument("--export-dir", help="also write one CSV per figure into this directory")
+    ana.add_argument(
+        "--engine",
+        choices=("batch", "record"),
+        default="batch",
+        help="ingest engine: columnar batches (default) or the record-at-a-time reference",
+    )
+    ana.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help=f"rows per columnar batch while reading (default {DEFAULT_BATCH_SIZE})",
+    )
+
+    bench = sub.add_parser(
+        "ingest-bench",
+        help="time batch vs record-at-a-time ingest of a trace file",
+    )
+    bench.add_argument("--trace", required=True, help="trace file to ingest with both engines")
+    bench.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help=f"rows per columnar batch (default {DEFAULT_BATCH_SIZE})",
+    )
+    bench.add_argument("--repeat", type=int, default=3, help="timing repetitions (best is kept)")
+    bench.add_argument("--results", help="append the measurement to this JSON results file")
 
     rep = sub.add_parser("reproduce", help="end-to-end: generate, simulate, analyze, report")
     _add_common(rep)
@@ -81,6 +109,65 @@ def build_parser() -> argparse.ArgumentParser:
     split.add_argument("--out-dir", required=True)
     split.add_argument("--by", choices=("site", "day"), default="site")
     return parser
+
+
+def _ingest_bench(args: argparse.Namespace) -> int:
+    """Time both ingest engines over one trace and report records/s."""
+    import json
+    import time
+    from pathlib import Path
+
+    batches = list(TraceReader(args.trace).iter_batches(batch_size=args.batch_size))
+    records = [record for batch in batches for record in batch.iter_records()]
+    for batch in batches:
+        batch.drop_records()
+    total = len(records)
+    if total == 0:
+        print(f"{args.trace}: trace is empty, nothing to benchmark")
+        return 1
+
+    def best_of(build) -> float:
+        best = float("inf")
+        for _ in range(max(1, args.repeat)):
+            start = time.perf_counter()
+            build()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    record_seconds = best_of(lambda: TraceDataset.from_records(records, engine="record"))
+    batch_seconds = best_of(lambda: TraceDataset.from_batches(batches))
+    speedup = record_seconds / batch_seconds
+    print(f"trace: {args.trace} ({total} records, batch_size={args.batch_size})")
+    print(f"record engine: {record_seconds:8.3f}s  {total / record_seconds:12,.0f} records/s")
+    print(f"batch engine:  {batch_seconds:8.3f}s  {total / batch_seconds:12,.0f} records/s")
+    print(f"speedup: {speedup:.1f}x")
+    if args.results:
+        path = Path(args.results)
+        entries: list = []
+        if path.exists():
+            try:
+                loaded = json.loads(path.read_text())
+                if isinstance(loaded, list):
+                    entries = loaded
+            except (OSError, ValueError):
+                entries = []
+        entries.append(
+            {
+                "figure": "ingest_throughput",
+                "trace": str(args.trace),
+                "records": total,
+                "batch_size": args.batch_size,
+                "record_seconds": round(record_seconds, 6),
+                "batch_seconds": round(batch_seconds, 6),
+                "record_per_s": round(total / record_seconds, 1),
+                "batch_per_s": round(total / batch_seconds, 1),
+                "speedup": round(speedup, 2),
+                "timestamp": round(time.time(), 3),
+            }
+        )
+        path.write_text(json.dumps(entries, indent=2) + "\n")
+        print(f"appended ingest record to {path}")
+    return 0
 
 
 def _maybe_export(report, export_dir: str | None) -> None:
@@ -117,12 +204,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "analyze":
-        dataset = TraceDataset.from_file(args.trace)
+        if args.engine == "record":
+            records = read_trace(args.trace, batch_size=args.batch_size)
+            dataset = TraceDataset.from_records(records, engine="record")
+        else:
+            dataset = TraceDataset.from_file(args.trace, batch_size=args.batch_size)
         study = Study(run_clustering=not args.no_clustering)
         report = study.run(dataset)
         print(report.render_text())
         _maybe_export(report, args.export_dir)
         return 0
+
+    if args.command == "ingest-bench":
+        return _ingest_bench(args)
 
     if args.command == "reproduce":
         study = Study(run_clustering=not args.no_clustering)

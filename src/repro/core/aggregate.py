@@ -7,16 +7,25 @@
   in users' local time.
 * :func:`device_composition`    — Fig. 4: visitor share per device type,
   parsed from user agents.
+
+Each analysis is an :class:`~repro.core.passes.AnalysisPass`
+(:class:`HourlyVolumePass` scans the store's columns; the others consume
+the dataset's prebuilt indices in ``finish``), with the module functions
+kept as single-pass convenience wrappers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.dataset import TraceDataset
+from repro.core.passes import run_passes
 from repro.stats.timeseries import HourlyTimeSeries, diurnality_index
+from repro.trace.batch import RecordBatch
 from repro.trace.useragent import parse_user_agent
-from repro.types import Continent, ContentCategory, DeviceType
+from repro.types import HOUR_SECONDS, Continent, ContentCategory, DeviceType
 from repro.workload.catalog import ContentCatalog
 
 #: Map data-center id back to a continent UTC offset for local-time series.
@@ -61,6 +70,53 @@ class CompositionResult:
         return self.row(site, category).share_of(total, attribute)
 
 
+class ContentCompositionPass:
+    """Fig. 1 as an index-level :class:`~repro.core.passes.AnalysisPass`.
+
+    Consumes catalogs (when available) or the dataset's object index in
+    ``finish``; ``process`` is a no-op, so the pass rides a shared scan
+    for free.
+    """
+
+    name = "content_composition"
+
+    def __init__(self, catalogs: dict[str, ContentCatalog] | None = None):
+        self.catalogs = catalogs
+        self._dataset: TraceDataset | None = None
+
+    def begin(self, dataset: TraceDataset) -> None:
+        self._dataset = dataset
+
+    def process(self, chunk: RecordBatch) -> None:
+        pass
+
+    def finish(self) -> CompositionResult:
+        assert self._dataset is not None
+        result = CompositionResult()
+        index: dict[tuple[str, ContentCategory], CompositionRow] = {}
+
+        def row_for(site: str, category: ContentCategory) -> CompositionRow:
+            key = (site, category)
+            if key not in index:
+                index[key] = CompositionRow(site=site, category=category)
+                result.rows.append(index[key])
+            return index[key]
+
+        if self.catalogs is not None:
+            for site, catalog in self.catalogs.items():
+                for category, count in catalog.category_counts().items():
+                    row_for(site, category).objects += count
+        else:
+            for stats in self._dataset.object_stats.values():
+                row_for(stats.site, stats.category).objects += 1
+        # Ensure all three categories exist for every site (zero rows included).
+        for site in {r.site for r in result.rows}:
+            for category in ContentCategory:
+                row_for(site, category)
+        result.rows.sort(key=lambda r: (r.site, r.category.value))
+        return result
+
+
 def content_composition(
     dataset: TraceDataset,
     catalogs: dict[str, ContentCatalog] | None = None,
@@ -72,29 +128,47 @@ def content_composition(
     stored inventory; otherwise distinct objects observed in the trace are
     the standard log-side estimate.
     """
-    result = CompositionResult()
-    index: dict[tuple[str, ContentCategory], CompositionRow] = {}
+    analysis = ContentCompositionPass(catalogs)
+    analysis.begin(dataset)
+    return analysis.finish()
 
-    def row_for(site: str, category: ContentCategory) -> CompositionRow:
-        key = (site, category)
-        if key not in index:
-            index[key] = CompositionRow(site=site, category=category)
-            result.rows.append(index[key])
-        return index[key]
 
-    if catalogs is not None:
-        for site, catalog in catalogs.items():
-            for category, count in catalog.category_counts().items():
-                row_for(site, category).objects += count
-    else:
-        for stats in dataset.object_stats.values():
-            row_for(stats.site, stats.category).objects += 1
-    # Ensure all three categories exist for every site (zero rows included).
-    for site in {r.site for r in result.rows}:
-        for category in ContentCategory:
-            row_for(site, category)
-    result.rows.sort(key=lambda r: (r.site, r.category.value))
-    return result
+class TrafficCompositionPass:
+    """Fig. 2 as an index-level pass over the per-object aggregates."""
+
+    name = "traffic_composition"
+
+    def __init__(self) -> None:
+        self._dataset: TraceDataset | None = None
+
+    def begin(self, dataset: TraceDataset) -> None:
+        self._dataset = dataset
+
+    def process(self, chunk: RecordBatch) -> None:
+        pass
+
+    def finish(self) -> CompositionResult:
+        assert self._dataset is not None
+        result = CompositionResult()
+        index: dict[tuple[str, ContentCategory], CompositionRow] = {}
+        for stats in self._dataset.object_stats.values():
+            key = (stats.site, stats.category)
+            row = index.get(key)
+            if row is None:
+                row = CompositionRow(site=stats.site, category=stats.category)
+                index[key] = row
+                result.rows.append(row)
+            row.objects += 1
+            row.requests += stats.requests
+            row.bytes_requested += stats.bytes_requested
+        for site in {r.site for r in result.rows}:
+            for category in ContentCategory:
+                if (site, category) not in index:
+                    row = CompositionRow(site=site, category=category)
+                    index[(site, category)] = row
+                    result.rows.append(row)
+        result.rows.sort(key=lambda r: (r.site, r.category.value))
+        return result
 
 
 def traffic_composition(dataset: TraceDataset) -> CompositionResult:
@@ -104,26 +178,9 @@ def traffic_composition(dataset: TraceDataset) -> CompositionResult:
     objects requested — so a video requested twice counts its full size
     twice even if only a range was transferred.
     """
-    result = CompositionResult()
-    index: dict[tuple[str, ContentCategory], CompositionRow] = {}
-    for stats in dataset.object_stats.values():
-        key = (stats.site, stats.category)
-        row = index.get(key)
-        if row is None:
-            row = CompositionRow(site=stats.site, category=stats.category)
-            index[key] = row
-            result.rows.append(row)
-        row.objects += 1
-        row.requests += stats.requests
-        row.bytes_requested += stats.bytes_requested
-    for site in {r.site for r in result.rows}:
-        for category in ContentCategory:
-            if (site, category) not in index:
-                row = CompositionRow(site=site, category=category)
-                index[(site, category)] = row
-                result.rows.append(row)
-    result.rows.sort(key=lambda r: (r.site, r.category.value))
-    return result
+    analysis = TrafficCompositionPass()
+    analysis.begin(dataset)
+    return analysis.finish()
 
 
 @dataclass
@@ -146,6 +203,64 @@ class HourlyVolumeResult:
         return diurnality_index(self.series[site].fold_daily())
 
 
+class HourlyVolumePass:
+    """Fig. 3 as a columnar scan pass.
+
+    Accumulates one ``(site, hour)`` volume matrix with a combined-key
+    ``np.bincount`` per chunk; local-time conversion maps each record's
+    data-center code to a UTC offset with one fancy-index.
+    """
+
+    name = "hourly_volume"
+
+    def __init__(self, local_time: bool = True, by_bytes: bool = False):
+        self.local_time = local_time
+        self.by_bytes = by_bytes
+        self._hours = 1
+        self._site_values: list[str] = []
+        self._volume: np.ndarray = np.zeros((0, 1))
+        self._counts: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._dc_offsets: np.ndarray | None = None
+
+    def begin(self, dataset: TraceDataset) -> None:
+        self._hours = dataset.duration_hours
+        if len(dataset):
+            self._site_values = dataset.store().site.values
+        else:
+            self._site_values = []
+        n_sites = len(self._site_values)
+        self._volume = np.zeros((n_sites, self._hours))
+        self._counts = np.zeros(n_sites, dtype=np.int64)
+        self._dc_offsets = None
+
+    def process(self, chunk: RecordBatch) -> None:
+        ts = chunk.timestamp
+        site_codes = chunk.site.codes.astype(np.int64)
+        if self.local_time:
+            if self._dc_offsets is None or len(self._dc_offsets) < len(chunk.datacenter.values):
+                self._dc_offsets = np.array(
+                    [float(_DC_OFFSET.get(dc, 0)) for dc in chunk.datacenter.values]
+                )
+            offsets = self._dc_offsets[chunk.datacenter.codes]
+            ts = (ts + offsets * 3600.0) % (self._hours * HOUR_SECONDS)
+        bins = np.clip((ts // HOUR_SECONDS).astype(np.int64), 0, self._hours - 1)
+        key = site_codes * self._hours + bins
+        weights = chunk.bytes_served.astype(np.float64) if self.by_bytes else None
+        flat = np.bincount(key, weights=weights, minlength=self._volume.size)
+        self._volume += flat.reshape(self._volume.shape)
+        self._counts += np.bincount(site_codes, minlength=self._counts.size)
+
+    def finish(self) -> HourlyVolumeResult:
+        # Dictionary code order is first-appearance order, so the series
+        # dict iterates exactly like the scalar implementation's.
+        series = {
+            site: HourlyTimeSeries(self._hours, self._volume[code])
+            for code, site in enumerate(self._site_values)
+            if self._counts[code]
+        }
+        return HourlyVolumeResult(series=series)
+
+
 def hourly_volume(dataset: TraceDataset, local_time: bool = True, by_bytes: bool = False) -> HourlyVolumeResult:
     """Fig. 3: hourly traffic volume time series per site.
 
@@ -155,19 +270,8 @@ def hourly_volume(dataset: TraceDataset, local_time: bool = True, by_bytes: bool
     router serves users from their own continent).  ``by_bytes`` switches
     the volume metric from request count to bytes served.
     """
-    hours = dataset.duration_hours
-    series: dict[str, HourlyTimeSeries] = {}
-    for record in dataset.records:
-        site_series = series.get(record.site)
-        if site_series is None:
-            site_series = HourlyTimeSeries(hours)
-            series[record.site] = site_series
-        timestamp = record.timestamp
-        if local_time:
-            offset = _DC_OFFSET.get(record.datacenter, 0)
-            timestamp = (timestamp + offset * 3600.0) % (hours * 3600.0)
-        site_series.add(timestamp, float(record.bytes_served) if by_bytes else 1.0)
-    return HourlyVolumeResult(series=series)
+    analysis = HourlyVolumePass(local_time=local_time, by_bytes=by_bytes)
+    return run_passes(dataset, [analysis])[analysis.name]
 
 
 @dataclass
@@ -186,16 +290,46 @@ class DeviceCompositionResult:
         return sum(self.share(site, device) for device in DeviceType if device.is_mobile)
 
 
+class DeviceCompositionPass:
+    """Fig. 4 as an index-level pass over the per-user index.
+
+    User-agent strings repeat heavily across users, so the parse result is
+    memoised per distinct string.
+    """
+
+    name = "device_composition"
+
+    def __init__(self) -> None:
+        self._dataset: TraceDataset | None = None
+
+    def begin(self, dataset: TraceDataset) -> None:
+        self._dataset = dataset
+
+    def process(self, chunk: RecordBatch) -> None:
+        pass
+
+    def finish(self) -> DeviceCompositionResult:
+        assert self._dataset is not None
+        counts: dict[str, dict[DeviceType, int]] = {}
+        device_of: dict[str, DeviceType] = {}
+        user_agents = self._dataset._user_agent
+        for user_id, site in self._dataset._user_site.items():
+            agent = user_agents[user_id]
+            device = device_of.get(agent)
+            if device is None:
+                device = parse_user_agent(agent).device
+                device_of[agent] = device
+            site_counts = counts.setdefault(site, {device_type: 0 for device_type in DeviceType})
+            site_counts[device] += 1
+        return DeviceCompositionResult(counts=counts)
+
+
 def device_composition(dataset: TraceDataset) -> DeviceCompositionResult:
     """Fig. 4: the device mix of each site's *visitors* (unique users).
 
     Devices are recovered by parsing each user's User-Agent header, the
     paper's method (Section III).
     """
-    counts: dict[str, dict[DeviceType, int]] = {}
-    for user_id in dataset.users_of():
-        site = dataset._user_site[user_id]
-        device = parse_user_agent(dataset.user_agent_of(user_id)).device
-        site_counts = counts.setdefault(site, {device_type: 0 for device_type in DeviceType})
-        site_counts[device] += 1
-    return DeviceCompositionResult(counts=counts)
+    analysis = DeviceCompositionPass()
+    analysis.begin(dataset)
+    return analysis.finish()

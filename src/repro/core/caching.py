@@ -16,8 +16,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.dataset import TraceDataset
+from repro.core.passes import run_passes
 from repro.stats.correlation import pearson, spearman
 from repro.stats.ecdf import EmpiricalCDF
+from repro.trace.batch import CATEGORIES, RecordBatch
 from repro.types import ContentCategory
 
 
@@ -116,11 +118,51 @@ class ResponseCodeResult:
         return sorted(codes)
 
 
+class ResponseCodePass:
+    """Fig. 16 as a columnar scan pass.
+
+    Each chunk is reduced with one ``np.unique`` over a combined
+    ``(site, category, status)`` key; ``finish`` decodes the keys back
+    into the nested per-site/per-category counters.
+    """
+
+    name = "response_codes"
+
+    #: Combined-key stride for the status code; HTTP codes are < 1000.
+    _STATUS_SPAN = 1000
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+        self._site_values: list[str] = []
+
+    def begin(self, dataset: TraceDataset) -> None:
+        self._counts = {}
+        self._site_values = dataset.store().site.values if len(dataset) else []
+
+    def process(self, chunk: RecordBatch) -> None:
+        status = chunk.status_code
+        n_categories = len(CATEGORIES)
+        key = (
+            chunk.site.codes.astype(np.int64) * n_categories + chunk.category
+        ) * self._STATUS_SPAN + status
+        unique_keys, key_counts = np.unique(key, return_counts=True)
+        counts = self._counts
+        for combined, count in zip(unique_keys.tolist(), key_counts.tolist()):
+            counts[combined] = counts.get(combined, 0) + count
+
+    def finish(self) -> ResponseCodeResult:
+        counts: dict[str, dict[ContentCategory, Counter]] = {}
+        n_categories = len(CATEGORIES)
+        for combined in sorted(self._counts):
+            site_and_category, status = divmod(combined, self._STATUS_SPAN)
+            site_code, category_code = divmod(site_and_category, n_categories)
+            per_site = counts.setdefault(self._site_values[site_code], {})
+            counter = per_site.setdefault(CATEGORIES[category_code], Counter())
+            counter[status] = self._counts[combined]
+        return ResponseCodeResult(counts=counts)
+
+
 def response_code_analysis(dataset: TraceDataset) -> ResponseCodeResult:
     """Fig. 16: tabulate HTTP response codes per site and category."""
-    counts: dict[str, dict[ContentCategory, Counter]] = {}
-    for record in dataset.records:
-        per_site = counts.setdefault(record.site, {})
-        counter = per_site.setdefault(record.category, Counter())
-        counter[record.status_code] += 1
-    return ResponseCodeResult(counts=counts)
+    analysis = ResponseCodePass()
+    return run_passes(dataset, [analysis])[analysis.name]

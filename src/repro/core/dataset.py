@@ -1,23 +1,40 @@
 """Trace datasets: indexed views over a stream of log records.
 
-:class:`TraceDataset` ingests log records (from a generator pipeline or a
-trace file) once and builds the indices every analysis needs: per-site
-record lists, per-object aggregates (:class:`ObjectStats` — request count,
-unique users, byte volume, hourly series, hit counts), and per-user
-request timelines.  Analyses then run off these indices without rescanning
-the trace.
+:class:`TraceDataset` ingests a trace once and builds the indices every
+analysis needs: a columnar store (:class:`~repro.trace.batch.RecordBatch`),
+per-object aggregates (:class:`ObjectStats` — request count, unique users,
+byte volume, hourly series, hit counts), per-user request timelines, and a
+per-site row index.  Analyses then run off these indices without
+rescanning the trace.
+
+Two ingest engines build the same indices:
+
+* ``engine="batch"`` (default) — concatenates the input into one columnar
+  store and constructs every index with vectorised ``np.bincount`` /
+  ``np.unique`` group-bys.  This is the production path.
+* ``engine="record"`` — the original record-at-a-time loop, kept as the
+  reference implementation; the equivalence tests pin the batch engine to
+  it field-for-field, and the ingest benchmark measures the speedup
+  against it.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+from itertools import islice
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import EmptyDatasetError
+from repro.errors import AnalysisError, ConfigError, EmptyDatasetError
 from repro.stats.timeseries import HourlyTimeSeries
+from repro.trace.batch import (
+    CATEGORIES,
+    DEFAULT_BATCH_SIZE,
+    RecordBatch,
+    iter_record_batches,
+)
 from repro.trace.reader import TraceReader
 from repro.trace.record import LogRecord
 from repro.types import CacheStatus, ContentCategory, HOUR_SECONDS
@@ -76,47 +93,133 @@ class ObjectStats:
         return self.hits / total
 
     def hourly_series(self, hours: int) -> HourlyTimeSeries:
-        """Dense hourly request-count series for this object."""
+        """Dense hourly request-count series for this object.
+
+        ``hours`` must cover every hour the object was requested in —
+        size it from :attr:`TraceDataset.duration_hours`.  An out-of-range
+        hour raises :class:`~repro.errors.AnalysisError` instead of
+        silently piling its mass into the edge bucket.
+        """
         series = HourlyTimeSeries(hours)
         for hour, count in self.hourly.items():
-            series.values[min(hour, hours - 1)] += count
+            if not 0 <= hour < hours:
+                raise AnalysisError(
+                    f"object {self.object_id!r} has requests in hour {hour}, outside the "
+                    f"{hours}-hour series; size the series from the dataset's duration_hours"
+                )
+            series.values[hour] += count
         return series
 
 
 class TraceDataset:
     """All analyses' view of one trace.
 
-    Build with :meth:`from_records` (any iterable of records) or
-    :meth:`from_file` (a trace written by
-    :class:`~repro.trace.writer.TraceWriter`).
+    Build with :meth:`from_batches` (columnar, the production path),
+    :meth:`from_records` (any iterable of records), or :meth:`from_file`
+    (a trace written by :class:`~repro.trace.writer.TraceWriter`).
     """
 
     def __init__(self) -> None:
-        self.records: list[LogRecord] = []
-        self.object_stats: dict[str, ObjectStats] = {}
-        self._user_times: dict[str, list[float]] = {}
-        self._user_site: dict[str, str] = {}
-        self._user_agent: dict[str, str] = {}
+        self._records: list[LogRecord] | None = None
+        self._store: RecordBatch | None = None
+        self._length = 0
+        # Python-object views of the indices.  The scalar engine fills
+        # these eagerly; the columnar engine leaves them ``None`` and
+        # materialises them on first access from ``_deferred`` (numpy
+        # group-by results computed once at ingest).
+        self._object_stats_map: dict[str, ObjectStats] | None = {}
+        self._user_times_map: dict[str, list[float]] | None = {}
+        self._user_site_map: dict[str, str] | None = {}
+        self._user_agent_map: dict[str, str] | None = {}
+        self._deferred: dict[str, object] | None = None
         self._sites: set[str] = set()
+        self._site_rows: dict[str, list[int] | np.ndarray] = {}
         self.duration_seconds: float = 0.0
+
+    # -- lazily materialised index views ---------------------------------------
+
+    @property
+    def object_stats(self) -> dict[str, ObjectStats]:
+        """Per-object aggregates keyed by object id, insertion-ordered by
+        first appearance in the trace."""
+        if self._object_stats_map is None:
+            self._materialize_object_stats()
+        return self._object_stats_map  # type: ignore[return-value]
+
+    @property
+    def _user_times(self) -> dict[str, list[float]]:
+        if self._user_times_map is None:
+            self._materialize_user_index()
+        return self._user_times_map  # type: ignore[return-value]
+
+    @property
+    def _user_site(self) -> dict[str, str]:
+        if self._user_site_map is None:
+            self._materialize_user_index()
+        return self._user_site_map  # type: ignore[return-value]
+
+    @property
+    def _user_agent(self) -> dict[str, str]:
+        if self._user_agent_map is None:
+            self._materialize_user_index()
+        return self._user_agent_map  # type: ignore[return-value]
 
     # -- construction ---------------------------------------------------------
 
     @classmethod
-    def from_records(cls, records: Iterable[LogRecord]) -> "TraceDataset":
+    def from_records(
+        cls,
+        records: Iterable[LogRecord],
+        engine: str = "batch",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> "TraceDataset":
+        """Build from a record iterable (materialised; test-scale API).
+
+        ``engine="batch"`` chunks the records into columnar batches and
+        runs the vectorised ingest; ``engine="record"`` runs the scalar
+        reference loop.  Both produce identical indices.
+        """
+        records = records if isinstance(records, list) else list(records)
+        if engine == "batch":
+            dataset = cls.from_batches(iter_record_batches(records, batch_size))
+            dataset._records = records
+            return dataset
+        if engine != "record":
+            raise ConfigError(f"unknown ingest engine {engine!r}; expected 'batch' or 'record'")
         dataset = cls()
-        for record in records:
-            dataset._ingest(record)
+        dataset._records = records
+        dataset._length = len(records)
+        for row, record in enumerate(records):
+            dataset._ingest(row, record)
         dataset._finalize()
         return dataset
 
     @classmethod
-    def from_file(cls, path: str | Path, **reader_kwargs: object) -> "TraceDataset":
-        return cls.from_records(TraceReader(path, **reader_kwargs))  # type: ignore[arg-type]
+    def from_batches(cls, batches: Iterable[RecordBatch]) -> "TraceDataset":
+        """Build from a stream of columnar batches (the production path)."""
+        store = RecordBatch.concat(list(batches))
+        dataset = cls()
+        dataset._store = store
+        dataset._length = len(store)
+        if len(store):
+            dataset._build_indices_columnar()
+        return dataset
 
-    def _ingest(self, record: LogRecord) -> None:
-        self.records.append(record)
+    @classmethod
+    def from_file(
+        cls,
+        path: str | Path,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        **reader_kwargs: object,
+    ) -> "TraceDataset":
+        reader = TraceReader(path, **reader_kwargs)  # type: ignore[arg-type]
+        return cls.from_batches(reader.iter_batches(batch_size=batch_size))
+
+    # -- scalar reference engine ----------------------------------------------
+
+    def _ingest(self, row: int, record: LogRecord) -> None:
         self._sites.add(record.site)
+        self._site_rows.setdefault(record.site, []).append(row)  # type: ignore[union-attr]
         self.duration_seconds = max(self.duration_seconds, record.timestamp)
 
         stats = self.object_stats.get(record.object_id)
@@ -153,10 +256,247 @@ class TraceDataset:
         for times in self._user_times.values():
             times.sort()
 
+    # -- columnar engine ------------------------------------------------------
+
+    @staticmethod
+    def _first_appearance(codes: np.ndarray, n_slots: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """First-appearance bookkeeping for a dictionary-coded column.
+
+        Returns ``(present, order, first_rows)``: the codes present in
+        ``codes`` ascending, the same codes ordered by their first row
+        (i.e. scalar-ingest insertion order), and each present code's
+        first row aligned with ``order``.  O(n) plus a sort over the
+        (much smaller) number of distinct codes.
+        """
+        first = np.full(n_slots, codes.size, dtype=np.int64)
+        np.minimum.at(first, codes, np.arange(codes.size, dtype=np.int64))
+        present = np.flatnonzero(first < codes.size)
+        by_first_row = np.argsort(first[present], kind="stable")
+        order = present[by_first_row]
+        return present, order, first[order]
+
+    @staticmethod
+    def _segments(sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Start/stop bounds of the equal-value runs in a sorted key array."""
+        bounds = np.flatnonzero(np.diff(sorted_keys)) + 1
+        starts = np.concatenate(([0], bounds))
+        stops = np.concatenate((bounds, [sorted_keys.size]))
+        return starts, stops
+
+    def _build_indices_columnar(self) -> None:
+        store = self._store
+        assert store is not None
+        ts = store.timestamp
+        status = store.status_code
+        size = store.object_size
+        obj_codes = store.object_id.codes.astype(np.int64)
+        user_codes = store.user_id.codes.astype(np.int64)
+        site_codes = store.site.codes
+        obj_values = store.object_id.values
+        user_values = store.user_id.values
+        site_values = store.site.values
+
+        self.duration_seconds = float(ts.max())
+
+        # Per-site row index: sites are few, so one boolean scan per site
+        # beats a full argsort of the row axis.  Code order is
+        # first-appearance order (the dictionary invariant), matching the
+        # scalar engine's insertion order.
+        for code, site in enumerate(site_values):
+            rows = np.flatnonzero(site_codes == code)
+            if rows.size:
+                self._sites.add(site)
+                self._site_rows[site] = rows
+
+        # Per-object aggregates over content accesses.
+        n_obj = len(obj_values)
+        content = (status == 200) | (status == 206) | (status == 304)
+        c_obj = obj_codes[content]
+        c_ts = ts[content]
+        requests = np.bincount(c_obj, minlength=n_obj)
+        bytes_requested = np.zeros(n_obj, dtype=np.int64)
+        np.add.at(bytes_requested, c_obj, size[content])
+        cacheable = content & (status != 304)
+        hit_rows = cacheable & (store.cache_status == 1)
+        hits = np.bincount(obj_codes[hit_rows], minlength=n_obj)
+        misses = np.bincount(obj_codes[cacheable & (store.cache_status != 1)], minlength=n_obj)
+        first_seen = np.full(n_obj, np.inf)
+        last_seen = np.full(n_obj, -np.inf)
+        np.minimum.at(first_seen, c_obj, c_ts)
+        np.maximum.at(last_seen, c_obj, c_ts)
+
+        # Group-by structures for the python-object views, all computed
+        # here with numpy; the views themselves (ObjectStats instances and
+        # the per-user dicts) are materialised lazily on first access.
+        deferred: dict[str, object] = {"n_obj": n_obj}
+        obj_values_arr = np.asarray(obj_values, dtype=object)
+        site_values_arr = np.asarray(site_values, dtype=object)
+        user_values_arr = np.asarray(user_values, dtype=object)
+
+        # ObjectStats shells, in first-appearance order so dict iteration
+        # matches the scalar engine's insertion order exactly.
+        _, obj_order, obj_first_rows = self._first_appearance(obj_codes, n_obj)
+        ext_values_arr = np.asarray(store.extension.values, dtype=object)
+        deferred["obj_order"] = obj_order.tolist()
+        deferred["obj_names"] = obj_values_arr[obj_order].tolist()
+        deferred["shell_sites"] = site_values_arr[site_codes[obj_first_rows]].tolist()
+        deferred["shell_categories"] = store.category[obj_first_rows].tolist()
+        deferred["shell_extensions"] = ext_values_arr[
+            store.extension.codes[obj_first_rows]
+        ].tolist()
+        deferred["shell_sizes"] = size[obj_first_rows].tolist()
+        deferred["requests"] = requests.tolist()
+        deferred["bytes_requested"] = bytes_requested.tolist()
+        deferred["hits"] = hits.tolist()
+        deferred["misses"] = misses.tolist()
+        deferred["first_seen"] = first_seen.tolist()
+        deferred["last_seen"] = last_seen.tolist()
+
+        if c_obj.size:
+            # (object, user) request counts via a combined group-by key:
+            # unique pairs come out sorted, so each object's pairs form a
+            # contiguous segment and its dict builds with one dict() call.
+            n_user_slots = max(1, len(user_values))
+            pair = c_obj * n_user_slots + user_codes[content]
+            uniq_pair, pair_counts = np.unique(pair, return_counts=True)
+            pair_objs = uniq_pair // n_user_slots
+            seg_starts, seg_stops = self._segments(pair_objs)
+            deferred["pair_names"] = user_values_arr[uniq_pair % n_user_slots].tolist()
+            deferred["pair_counts"] = pair_counts.tolist()
+            deferred["pair_seg_codes"] = pair_objs[seg_starts].tolist()
+            deferred["pair_seg_lengths"] = (seg_stops - seg_starts).tolist()
+
+            # (object, hour) request counts, same trick.
+            hour = (c_ts // HOUR_SECONDS).astype(np.int64)
+            hour_span = int(hour.max()) + 1
+            hour_key = c_obj * hour_span + hour
+            uniq_hour, hour_counts = np.unique(hour_key, return_counts=True)
+            hour_objs = uniq_hour // hour_span
+            seg_starts, seg_stops = self._segments(hour_objs)
+            deferred["hour_bins"] = (uniq_hour % hour_span).tolist()
+            deferred["hour_counts"] = hour_counts.tolist()
+            deferred["hour_seg_codes"] = hour_objs[seg_starts].tolist()
+            deferred["hour_seg_lengths"] = (seg_stops - seg_starts).tolist()
+
+        # Per-user sorted timelines: stable lexsort (user, then timestamp)
+        # reproduces the scalar engine's stable per-user sort; each user's
+        # timeline is then a contiguous slice of the sorted timestamps.
+        # Traces are usually already time-ordered, in which case a single
+        # stable sort by user code suffices.
+        if ts.size < 2 or bool((np.diff(ts) >= 0).all()):
+            timeline_order = np.argsort(user_codes, kind="stable")
+        else:
+            timeline_order = np.lexsort((ts, user_codes))
+        sorted_users = user_codes[timeline_order]
+        user_starts, user_stops = self._segments(sorted_users)
+        present, user_order, user_first_rows = self._first_appearance(
+            user_codes, len(user_values)
+        )
+        # Segment i belongs to present[i] (both ascend by code); realign the
+        # slice bounds to first-appearance order so the dicts build in the
+        # scalar engine's insertion order.
+        positions = np.searchsorted(present, user_order)
+        deferred["sorted_ts"] = ts[timeline_order].tolist()
+        deferred["user_starts"] = user_starts[positions].tolist()
+        deferred["user_stops"] = user_stops[positions].tolist()
+        deferred["user_names"] = user_values_arr[user_order].tolist()
+        deferred["user_sites"] = site_values_arr[site_codes[user_first_rows]].tolist()
+        ua_values_arr = np.asarray(store.user_agent.values, dtype=object)
+        deferred["user_agents"] = ua_values_arr[
+            store.user_agent.codes[user_first_rows]
+        ].tolist()
+
+        self._deferred = deferred
+        self._object_stats_map = None
+        self._user_times_map = None
+        self._user_site_map = None
+        self._user_agent_map = None
+
+    def _materialize_object_stats(self) -> None:
+        d = self._deferred
+        assert d is not None
+        n_obj: int = d["n_obj"]  # type: ignore[assignment]
+        requests = d["requests"]
+        hits = d["hits"]
+        misses = d["misses"]
+        bytes_requested = d["bytes_requested"]
+        first_seen = d["first_seen"]
+        last_seen = d["last_seen"]
+        stats_by_code: list[ObjectStats | None] = [None] * n_obj
+        mapping: dict[str, ObjectStats] = {}
+        for position, code in enumerate(d["obj_order"]):  # type: ignore[arg-type]
+            stats = ObjectStats(
+                object_id=d["obj_names"][position],  # type: ignore[index]
+                site=d["shell_sites"][position],  # type: ignore[index]
+                category=CATEGORIES[d["shell_categories"][position]],  # type: ignore[index]
+                extension=d["shell_extensions"][position],  # type: ignore[index]
+                size_bytes=d["shell_sizes"][position],  # type: ignore[index]
+                requests=requests[code],  # type: ignore[index]
+                hits=hits[code],  # type: ignore[index]
+                misses=misses[code],  # type: ignore[index]
+                bytes_requested=bytes_requested[code],  # type: ignore[index]
+                first_seen=first_seen[code],  # type: ignore[index]
+                last_seen=last_seen[code],  # type: ignore[index]
+            )
+            stats_by_code[code] = stats
+            mapping[stats.object_id] = stats
+        if "pair_names" in d:
+            # Each object's (user, count) and (hour, count) entries form one
+            # contiguous run; a shared zip iterator plus islice builds every
+            # dict in a single linear pass without slice copies.
+            pairs = zip(d["pair_names"], d["pair_counts"])  # type: ignore[arg-type]
+            for code, length in zip(d["pair_seg_codes"], d["pair_seg_lengths"]):  # type: ignore[arg-type]
+                stats_by_code[code].user_counts = dict(islice(pairs, length))  # type: ignore[union-attr]
+            hours = zip(d["hour_bins"], d["hour_counts"])  # type: ignore[arg-type]
+            for code, length in zip(d["hour_seg_codes"], d["hour_seg_lengths"]):  # type: ignore[arg-type]
+                stats_by_code[code].hourly = dict(islice(hours, length))  # type: ignore[union-attr]
+        self._object_stats_map = mapping
+        self._release_deferred()
+
+    def _materialize_user_index(self) -> None:
+        d = self._deferred
+        assert d is not None
+        names = d["user_names"]
+        sorted_ts: list[float] = d["sorted_ts"]  # type: ignore[assignment]
+        self._user_times_map = dict(
+            zip(
+                names,  # type: ignore[arg-type]
+                (
+                    sorted_ts[start:stop]
+                    for start, stop in zip(d["user_starts"], d["user_stops"])  # type: ignore[arg-type]
+                ),
+            )
+        )
+        self._user_site_map = dict(zip(names, d["user_sites"]))  # type: ignore[arg-type]
+        self._user_agent_map = dict(zip(names, d["user_agents"]))  # type: ignore[arg-type]
+        self._release_deferred()
+
+    def _release_deferred(self) -> None:
+        if self._object_stats_map is not None and self._user_times_map is not None:
+            self._deferred = None
+
     # -- accessors -------------------------------------------------------------
 
+    @property
+    def records(self) -> list[LogRecord]:
+        """The trace as a record list, materialised lazily for batch-built
+        datasets (test-scale convenience; analyses use the store)."""
+        if self._records is None:
+            self._records = self._store.to_records() if self._store is not None else []
+        return self._records
+
+    def store(self) -> RecordBatch:
+        """The trace as one columnar :class:`RecordBatch`.
+
+        Built lazily (and cached) for record-built datasets, so analysis
+        passes can always scan columns.
+        """
+        if self._store is None:
+            self._store = RecordBatch.from_records(self._records or [])
+        return self._store
+
     def __len__(self) -> int:
-        return len(self.records)
+        return self._length
 
     @property
     def sites(self) -> list[str]:
@@ -168,11 +508,20 @@ class TraceDataset:
         return max(1, int(np.ceil((self.duration_seconds + 1) / HOUR_SECONDS)))
 
     def require_nonempty(self) -> None:
-        if not self.records:
+        if self._length == 0:
             raise EmptyDatasetError("trace contains no records")
 
     def site_records(self, site: str) -> list[LogRecord]:
-        return [record for record in self.records if record.site == site]
+        """The site's records, served from the per-site row index."""
+        rows = self._site_rows.get(site)
+        if rows is None:
+            return []
+        row_list = rows.tolist() if isinstance(rows, np.ndarray) else rows
+        if self._records is None and self._store is not None and self._store._records is None:
+            # Fully columnar store: materialise just this site's rows.
+            return self._store.take(np.asarray(row_list, dtype=np.intp)).to_records()
+        records = self.records
+        return [records[row] for row in row_list]
 
     def objects_of(
         self,

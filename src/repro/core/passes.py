@@ -1,0 +1,71 @@
+"""Single-sweep analysis passes over the columnar store.
+
+An :class:`AnalysisPass` is a stateful column operation: it is handed the
+dataset once (``begin``), then each chunk of the columnar store in row
+order (``process``), and finally asked for its result (``finish``).
+:func:`run_passes` drives any number of passes through **one** scan of the
+store, so the figure analyses that need a full-trace sweep (hourly volume,
+response codes, ...) share a single pass over the data instead of each
+re-reading ``dataset.records``.
+
+Chunks are row slices of one parent :class:`~repro.trace.batch.RecordBatch`,
+so all chunks share the parent's string dictionaries: a code observed in
+chunk 3 means the same value as in chunk 0, which lets passes accumulate
+per-code arrays and decode names once in ``finish``.
+
+Passes that only consume the dataset's prebuilt indices (object stats, the
+user index) may leave ``process`` a no-op; driving them through
+:func:`run_passes` still costs nothing extra because the scan is shared.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any, Protocol, runtime_checkable
+
+from repro.core.dataset import TraceDataset
+from repro.trace.batch import RecordBatch
+
+#: Rows per chunk handed to ``process``; large enough to amortise numpy
+#: call overhead, small enough to keep per-chunk scratch arrays in cache.
+DEFAULT_CHUNK_ROWS = 1 << 18
+
+
+@runtime_checkable
+class AnalysisPass(Protocol):
+    """One column-oriented analysis, driven by :func:`run_passes`."""
+
+    #: Key under which the result lands in the ``run_passes`` mapping.
+    name: str
+
+    def begin(self, dataset: TraceDataset) -> None:
+        """Reset state for a fresh sweep over ``dataset``."""
+
+    def process(self, chunk: RecordBatch) -> None:
+        """Accumulate one chunk of the store (rows arrive in trace order)."""
+
+    def finish(self) -> Any:
+        """Return the analysis result; called once after the last chunk."""
+
+
+def run_passes(
+    dataset: TraceDataset,
+    passes: Sequence[AnalysisPass],
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> dict[str, Any]:
+    """Drive ``passes`` through one shared scan of the dataset's store.
+
+    Every pass sees every row exactly once, in trace order.  Returns
+    ``{pass.name: pass.finish()}``.  Passes whose ``process`` is a no-op
+    ride along for free.
+    """
+    for analysis_pass in passes:
+        analysis_pass.begin(dataset)
+    if len(dataset):
+        store = dataset.store()
+        total = len(store)
+        for start in range(0, total, chunk_rows):
+            chunk = store.rows(start, min(start + chunk_rows, total))
+            for analysis_pass in passes:
+                analysis_pass.process(chunk)
+    return {analysis_pass.name: analysis_pass.finish() for analysis_pass in passes}

@@ -13,18 +13,18 @@ from typing import Any
 
 from repro.core.aggregate import (
     CompositionResult,
+    ContentCompositionPass,
+    DeviceCompositionPass,
     DeviceCompositionResult,
+    HourlyVolumePass,
     HourlyVolumeResult,
-    content_composition,
-    device_composition,
-    hourly_volume,
-    traffic_composition,
+    TrafficCompositionPass,
 )
 from repro.core.caching import (
     HitRatioResult,
+    ResponseCodePass,
     ResponseCodeResult,
     hit_ratio_analysis,
-    response_code_analysis,
 )
 from repro.core.clustering import TrendClusteringResult, cluster_popularity_trends
 from repro.core.content import (
@@ -36,6 +36,7 @@ from repro.core.content import (
     size_cdf,
 )
 from repro.core.dataset import TraceDataset
+from repro.core.passes import run_passes
 from repro.core.users import (
     AddictionResult,
     IatResult,
@@ -207,13 +208,29 @@ class Study:
         dataset: TraceDataset,
         catalogs: dict[str, ContentCatalog] | None = None,
     ) -> StudyReport:
-        """Execute every analysis and return the bundled report."""
+        """Execute every analysis and return the bundled report.
+
+        The scan-based analyses (Figs. 1-4 and 16) run as
+        :class:`~repro.core.passes.AnalysisPass` instances through one
+        shared sweep of the columnar store; the remaining figures read the
+        dataset's prebuilt indices.
+        """
         dataset.require_nonempty()
+        swept = run_passes(
+            dataset,
+            [
+                ContentCompositionPass(catalogs),
+                TrafficCompositionPass(),
+                HourlyVolumePass(),
+                DeviceCompositionPass(),
+                ResponseCodePass(),
+            ],
+        )
         report = StudyReport(
-            content_composition=content_composition(dataset, catalogs),
-            traffic_composition=traffic_composition(dataset),
-            hourly_volume=hourly_volume(dataset),
-            device_composition=device_composition(dataset),
+            content_composition=swept["content_composition"],
+            traffic_composition=swept["traffic_composition"],
+            hourly_volume=swept["hourly_volume"],
+            device_composition=swept["device_composition"],
             video_sizes=size_cdf(dataset, ContentCategory.VIDEO),
             image_sizes=size_cdf(dataset, ContentCategory.IMAGE),
             video_popularity=popularity_distribution(dataset, ContentCategory.VIDEO),
@@ -225,7 +242,7 @@ class Study:
             image_addiction=addiction_cdf(dataset, ContentCategory.IMAGE),
             video_hit_ratio=hit_ratio_analysis(dataset, ContentCategory.VIDEO),
             image_hit_ratio=hit_ratio_analysis(dataset, ContentCategory.IMAGE),
-            response_codes=response_code_analysis(dataset),
+            response_codes=swept["response_codes"],
         )
         if self.run_clustering:
             targets = self.cluster_sites

@@ -13,8 +13,9 @@ from pathlib import Path
 from repro.cdn.simulator import CdnSimulator, SimulationConfig
 from repro.core.dataset import TraceDataset
 from repro.core.report import Study, StudyReport
+from repro.trace.batch import RecordBatch
 from repro.trace.record import LogRecord
-from repro.trace.writer import write_trace
+from repro.trace.writer import write_trace_batches
 from repro.workload.catalog import ContentCatalog
 from repro.workload.generator import SiteWorkload, WorkloadGenerator
 from repro.workload.profiles import ALL_PROFILES, SiteProfile
@@ -26,9 +27,15 @@ class PipelineResult:
     """Everything a full pipeline run produces."""
 
     workloads: dict[str, SiteWorkload]
-    records: list[LogRecord]
+    batches: list[RecordBatch]
     dataset: TraceDataset
     simulator: CdnSimulator
+
+    @property
+    def records(self) -> list[LogRecord]:
+        """The simulated log as a record list (materialised on demand;
+        the batch/dataset view is the primary representation)."""
+        return self.dataset.records
 
     @property
     def catalogs(self) -> dict[str, ContentCatalog]:
@@ -69,9 +76,9 @@ def run_pipeline(
     simulator = CdnSimulator(profiles=profiles, config=sim_config)
     if sim_config.warm_caches:
         simulator.warm(w.catalog for w in workloads.values())
-    records = list(simulator.run(generator.merged_requests(workloads)))
-    dataset = TraceDataset.from_records(records)
-    return PipelineResult(workloads=workloads, records=records, dataset=dataset, simulator=simulator)
+    batches = list(simulator.run_batches(generator.merged_request_batches(workloads)))
+    dataset = TraceDataset.from_batches(batches)
+    return PipelineResult(workloads=workloads, batches=batches, dataset=dataset, simulator=simulator)
 
 
 def run_study(
@@ -95,4 +102,4 @@ def generate_trace_file(
 ) -> int:
     """Generate a trace and write it to ``path``; returns records written."""
     result = run_pipeline(seed=seed, scale=scale, profiles=profiles)
-    return write_trace(result.records, path)
+    return write_trace_batches(result.batches, path)

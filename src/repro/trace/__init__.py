@@ -10,6 +10,13 @@ JSON-lines and a compact binary format.
 """
 
 from repro.trace.anonymize import Anonymizer
+from repro.trace.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchBuilder,
+    RecordBatch,
+    StringColumn,
+    iter_record_batches,
+)
 from repro.trace.reader import TraceReader, read_trace
 from repro.trace.record import LogRecord
 from repro.trace.tools import (
@@ -20,14 +27,19 @@ from repro.trace.tools import (
     summarize_trace,
 )
 from repro.trace.useragent import parse_user_agent, synthesize_user_agent
-from repro.trace.writer import TraceWriter, write_trace
+from repro.trace.writer import TraceWriter, write_trace, write_trace_batches
 
 __all__ = [
     "Anonymizer",
+    "BatchBuilder",
+    "DEFAULT_BATCH_SIZE",
     "LogRecord",
+    "RecordBatch",
+    "StringColumn",
     "TraceReader",
     "TraceSummary",
     "TraceWriter",
+    "iter_record_batches",
     "merge_traces",
     "parse_user_agent",
     "read_trace",
@@ -36,4 +48,5 @@ __all__ = [
     "summarize_trace",
     "synthesize_user_agent",
     "write_trace",
+    "write_trace_batches",
 ]

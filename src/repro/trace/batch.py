@@ -1,0 +1,410 @@
+"""Columnar record batches: the vectorized unit of trace flow.
+
+A :class:`RecordBatch` holds a fixed number of log records as column
+arrays — float64 timestamps, int64 sizes/status codes, uint8 category and
+cache-status codes — with the string-valued fields (site, object id,
+extension, user id, user agent, datacenter) dictionary-interned as int32
+codes over a per-batch value list.  Batches are what flows between the
+pipeline stages (generator → simulator → writer/reader → dataset →
+analysis passes), so the hot paths touch numpy arrays instead of millions
+of :class:`~repro.trace.record.LogRecord` objects.
+
+Interning codes are assigned in first-appearance order, and
+:meth:`RecordBatch.concat` preserves that order across batches.  Iterating
+a string column's codes in ascending numeric order therefore reproduces
+the order a sequential record-at-a-time scan would have first seen each
+value — the invariant the columnar :class:`~repro.core.dataset.TraceDataset`
+ingest relies on to match the scalar reference engine exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.record import LogRecord
+from repro.types import CacheStatus, ContentCategory, category_for_extension
+
+#: Fixed category code order; ``CATEGORIES[code]`` decodes a category column.
+CATEGORIES: tuple[ContentCategory, ...] = tuple(ContentCategory)
+_CATEGORY_CODE = {category: code for code, category in enumerate(CATEGORIES)}
+
+#: Default number of rows per batch: big enough to amortise numpy call
+#: overhead, small enough to stay cache- and memory-friendly.
+DEFAULT_BATCH_SIZE = 65_536
+
+#: String-valued fields, in schema order.
+STRING_FIELDS = ("site", "object_id", "extension", "user_id", "user_agent", "datacenter")
+
+
+@dataclass
+class StringColumn:
+    """A dictionary-encoded string column: int32 codes over a value list."""
+
+    codes: np.ndarray
+    values: list[str]
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    def __getitem__(self, index: int) -> str:
+        return self.values[int(self.codes[index])]
+
+    def take(self, indexer) -> "StringColumn":
+        """Column restricted to ``indexer`` (slice/mask/index array); the
+        value list is shared, codes keep their meaning."""
+        return StringColumn(self.codes[indexer], self.values)
+
+    def tolist(self) -> list[str]:
+        values = self.values
+        return [values[code] for code in self.codes.tolist()]
+
+
+class BatchBuilder:
+    """Accumulates records into column buffers; :meth:`finish` seals a batch.
+
+    The builder also keeps the appended :class:`LogRecord` objects so the
+    finished batch can hand them back without reconstructing them (the
+    record-at-a-time reader API is a zero-copy adapter over batches).
+    """
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._timestamp: list[float] = []
+        self._object_size: list[int] = []
+        self._bytes_served: list[int] = []
+        self._status_code: list[int] = []
+        self._chunk_index: list[int] = []
+        self._hit: list[int] = []
+        self._codes: dict[str, list[int]] = {name: [] for name in STRING_FIELDS}
+        self._dicts: dict[str, dict[str, int]] = {name: {} for name in STRING_FIELDS}
+        self._values: dict[str, list[str]] = {name: [] for name in STRING_FIELDS}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def _intern(self, field: str, value: str) -> int:
+        mapping = self._dicts[field]
+        code = mapping.get(value)
+        if code is None:
+            code = len(mapping)
+            mapping[value] = code
+            self._values[field].append(value)
+        return code
+
+    def append(self, record: LogRecord) -> None:
+        self._records.append(record)
+        self._timestamp.append(record.timestamp)
+        self._object_size.append(record.object_size)
+        self._bytes_served.append(record.bytes_served)
+        self._status_code.append(record.status_code)
+        self._chunk_index.append(record.chunk_index)
+        self._hit.append(1 if record.cache_status is CacheStatus.HIT else 0)
+        codes = self._codes
+        codes["site"].append(self._intern("site", record.site))
+        codes["object_id"].append(self._intern("object_id", record.object_id))
+        codes["extension"].append(self._intern("extension", record.extension))
+        codes["user_id"].append(self._intern("user_id", record.user_id))
+        codes["user_agent"].append(self._intern("user_agent", record.user_agent))
+        codes["datacenter"].append(self._intern("datacenter", record.datacenter))
+
+    def finish(self) -> "RecordBatch":
+        columns = {
+            name: StringColumn(np.asarray(self._codes[name], dtype=np.int32), self._values[name])
+            for name in STRING_FIELDS
+        }
+        # Category is a function of the extension: derive one code per
+        # interned extension value, then broadcast through the codes.
+        ext_categories = np.asarray(
+            [_CATEGORY_CODE[category_for_extension(value)] for value in self._values["extension"]],
+            dtype=np.uint8,
+        )
+        if len(self._records):
+            category = ext_categories[columns["extension"].codes]
+        else:
+            category = np.empty(0, dtype=np.uint8)
+        return RecordBatch(
+            timestamp=np.asarray(self._timestamp, dtype=np.float64),
+            object_size=np.asarray(self._object_size, dtype=np.int64),
+            bytes_served=np.asarray(self._bytes_served, dtype=np.int64),
+            status_code=np.asarray(self._status_code, dtype=np.int64),
+            chunk_index=np.asarray(self._chunk_index, dtype=np.int64),
+            cache_status=np.asarray(self._hit, dtype=np.uint8),
+            category=category,
+            site=columns["site"],
+            object_id=columns["object_id"],
+            extension=columns["extension"],
+            user_id=columns["user_id"],
+            user_agent=columns["user_agent"],
+            datacenter=columns["datacenter"],
+            records=self._records,
+        )
+
+
+class RecordBatch:
+    """A fixed-size block of log records stored column-wise."""
+
+    __slots__ = (
+        "timestamp",
+        "object_size",
+        "bytes_served",
+        "status_code",
+        "chunk_index",
+        "cache_status",
+        "category",
+        "site",
+        "object_id",
+        "extension",
+        "user_id",
+        "user_agent",
+        "datacenter",
+        "_records",
+    )
+
+    def __init__(
+        self,
+        timestamp: np.ndarray,
+        object_size: np.ndarray,
+        bytes_served: np.ndarray,
+        status_code: np.ndarray,
+        chunk_index: np.ndarray,
+        cache_status: np.ndarray,
+        category: np.ndarray,
+        site: StringColumn,
+        object_id: StringColumn,
+        extension: StringColumn,
+        user_id: StringColumn,
+        user_agent: StringColumn,
+        datacenter: StringColumn,
+        records: list[LogRecord] | None = None,
+    ):
+        self.timestamp = timestamp
+        self.object_size = object_size
+        self.bytes_served = bytes_served
+        self.status_code = status_code
+        self.chunk_index = chunk_index
+        self.cache_status = cache_status
+        self.category = category
+        self.site = site
+        self.object_id = object_id
+        self.extension = extension
+        self.user_id = user_id
+        self.user_agent = user_agent
+        self.datacenter = datacenter
+        self._records = records
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "RecordBatch":
+        builder = BatchBuilder()
+        return builder.finish()
+
+    @classmethod
+    def from_records(cls, records: Iterable[LogRecord]) -> "RecordBatch":
+        builder = BatchBuilder()
+        for record in records:
+            builder.append(record)
+        return builder.finish()
+
+    @staticmethod
+    def concat(batches: list["RecordBatch"]) -> "RecordBatch":
+        """Concatenate batches, merging the string dictionaries.
+
+        New dictionary values are appended in batch order, so the merged
+        code order equals the first-appearance order of a sequential scan
+        over all rows.
+        """
+        batches = [batch for batch in batches if len(batch)]
+        if not batches:
+            return RecordBatch.empty()
+        if len(batches) == 1:
+            return batches[0]
+        string_columns: dict[str, StringColumn] = {}
+        for name in STRING_FIELDS:
+            first: StringColumn = getattr(batches[0], name)
+            # The first batch's dictionary is adopted verbatim; later
+            # batches remap their codes onto it, appending new values.
+            values = list(first.values)
+            merged = {value: code for code, value in enumerate(values)}
+            code_parts: list[np.ndarray] = [first.codes]
+            for batch in batches[1:]:
+                column: StringColumn = getattr(batch, name)
+                remap = np.empty(len(column.values), dtype=np.int32)
+                lookup = merged.get
+                for local_code, value in enumerate(column.values):
+                    global_code = lookup(value)
+                    if global_code is None:
+                        global_code = len(values)
+                        merged[value] = global_code
+                        values.append(value)
+                    remap[local_code] = global_code
+                code_parts.append(remap[column.codes])
+            string_columns[name] = StringColumn(np.concatenate(code_parts), values)
+        records: list[LogRecord] | None = None
+        if all(batch._records is not None for batch in batches):
+            records = [record for batch in batches for record in batch._records]
+        return RecordBatch(
+            timestamp=np.concatenate([b.timestamp for b in batches]),
+            object_size=np.concatenate([b.object_size for b in batches]),
+            bytes_served=np.concatenate([b.bytes_served for b in batches]),
+            status_code=np.concatenate([b.status_code for b in batches]),
+            chunk_index=np.concatenate([b.chunk_index for b in batches]),
+            cache_status=np.concatenate([b.cache_status for b in batches]),
+            category=np.concatenate([b.category for b in batches]),
+            records=records,
+            **string_columns,
+        )
+
+    # -- row access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.timestamp.size)
+
+    def rows(self, start: int, stop: int) -> "RecordBatch":
+        """A zero-copy view of rows ``[start, stop)`` (dictionaries shared)."""
+        window = slice(start, stop)
+        return self._indexed(window, self._records[window] if self._records is not None else None)
+
+    def take(self, indexer) -> "RecordBatch":
+        """Rows selected by an index array (dictionaries shared)."""
+        return self._indexed(indexer, None)
+
+    def filter(self, mask: np.ndarray) -> "RecordBatch":
+        """Rows where ``mask`` is true (dictionaries shared)."""
+        return self._indexed(mask, None)
+
+    def _indexed(self, indexer, records: list[LogRecord] | None) -> "RecordBatch":
+        return RecordBatch(
+            timestamp=self.timestamp[indexer],
+            object_size=self.object_size[indexer],
+            bytes_served=self.bytes_served[indexer],
+            status_code=self.status_code[indexer],
+            chunk_index=self.chunk_index[indexer],
+            cache_status=self.cache_status[indexer],
+            category=self.category[indexer],
+            site=self.site.take(indexer),
+            object_id=self.object_id.take(indexer),
+            extension=self.extension.take(indexer),
+            user_id=self.user_id.take(indexer),
+            user_agent=self.user_agent.take(indexer),
+            datacenter=self.datacenter.take(indexer),
+            records=records,
+        )
+
+    def drop_records(self) -> "RecordBatch":
+        """Release the cached :class:`LogRecord` objects (columns only)."""
+        self._records = None
+        return self
+
+    # -- record views ---------------------------------------------------------
+
+    def record_at(self, index: int) -> LogRecord:
+        if self._records is not None:
+            return self._records[index]
+        return LogRecord(
+            timestamp=float(self.timestamp[index]),
+            site=self.site[index],
+            object_id=self.object_id[index],
+            extension=self.extension[index],
+            object_size=int(self.object_size[index]),
+            user_id=self.user_id[index],
+            user_agent=self.user_agent[index],
+            cache_status=CacheStatus.HIT if self.cache_status[index] else CacheStatus.MISS,
+            status_code=int(self.status_code[index]),
+            bytes_served=int(self.bytes_served[index]),
+            datacenter=self.datacenter[index],
+            chunk_index=int(self.chunk_index[index]),
+        )
+
+    def iter_records(self) -> Iterator[LogRecord]:
+        """Yield :class:`LogRecord` views of every row.
+
+        When the batch was built from records (builder or reader), the
+        original objects are yielded without reconstruction.
+        """
+        if self._records is not None:
+            yield from self._records
+            return
+        for row in self.iter_rows():
+            (timestamp, site, object_id, extension, object_size, user_id,
+             user_agent, hit, status_code, bytes_served, datacenter, chunk_index) = row
+            yield LogRecord(
+                timestamp=timestamp,
+                site=site,
+                object_id=object_id,
+                extension=extension,
+                object_size=object_size,
+                user_id=user_id,
+                user_agent=user_agent,
+                cache_status=CacheStatus.HIT if hit else CacheStatus.MISS,
+                status_code=status_code,
+                bytes_served=bytes_served,
+                datacenter=datacenter,
+                chunk_index=chunk_index,
+            )
+
+    def to_records(self) -> list[LogRecord]:
+        if self._records is not None:
+            return list(self._records)
+        return list(self.iter_records())
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Yield plain-python field tuples in schema order.
+
+        Tuple layout: ``(timestamp, site, object_id, extension, object_size,
+        user_id, user_agent, hit, status_code, bytes_served, datacenter,
+        chunk_index)`` with ``hit`` a bool.  Columns are bulk-converted to
+        python scalars up front, so writers serialising a batch never touch
+        numpy scalar objects.
+        """
+        yield from zip(
+            self.timestamp.tolist(),
+            self.site.tolist(),
+            self.object_id.tolist(),
+            self.extension.tolist(),
+            self.object_size.tolist(),
+            self.user_id.tolist(),
+            self.user_agent.tolist(),
+            (self.cache_status != 0).tolist(),
+            self.status_code.tolist(),
+            self.bytes_served.tolist(),
+            self.datacenter.tolist(),
+            self.chunk_index.tolist(),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the column arrays."""
+        total = (
+            self.timestamp.nbytes
+            + self.object_size.nbytes
+            + self.bytes_served.nbytes
+            + self.status_code.nbytes
+            + self.chunk_index.nbytes
+            + self.cache_status.nbytes
+            + self.category.nbytes
+        )
+        for name in STRING_FIELDS:
+            column: StringColumn = getattr(self, name)
+            total += column.codes.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordBatch(rows={len(self)}, sites={len(self.site.values)}, objects={len(self.object_id.values)})"
+
+
+def iter_record_batches(
+    records: Iterable[LogRecord], batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[RecordBatch]:
+    """Chunk a record stream into :class:`RecordBatch` blocks."""
+    builder = BatchBuilder()
+    for record in records:
+        builder.append(record)
+        if len(builder) >= batch_size:
+            yield builder.finish()
+            builder = BatchBuilder()
+    if len(builder):
+        yield builder.finish()

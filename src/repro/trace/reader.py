@@ -15,8 +15,9 @@ from collections.abc import Iterator
 from pathlib import Path
 from typing import IO
 
-from repro.errors import TraceFormatError, TraceTruncationError
+from repro.errors import TraceError, TraceFormatError, TraceTruncationError
 from repro.trace import schema
+from repro.trace.batch import DEFAULT_BATCH_SIZE, BatchBuilder, RecordBatch
 from repro.trace.record import LogRecord
 from repro.types import ContentCategory
 
@@ -76,6 +77,23 @@ class TraceReader:
         self.end = end
 
     def __iter__(self) -> Iterator[LogRecord]:
+        """Record-at-a-time view: a thin adapter over :meth:`iter_batches`.
+
+        Batches built by the reader keep their source records, so this
+        yields each parsed record exactly once (no reconstruction).
+        """
+        for batch in self.iter_batches():
+            yield from batch.iter_records()
+
+    def iter_batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[RecordBatch]:
+        """Stream the trace as columnar :class:`RecordBatch` blocks.
+
+        Filters apply record-wise before batching, so batches contain only
+        matching rows.  On a truncated or corrupt file, any complete
+        records parsed before the error are flushed as a final partial
+        batch *before* the :class:`TraceError` propagates — callers see
+        every good record, then the failure.
+        """
         raw: Iterator[LogRecord]
         if self.fmt == "csv":
             raw = self._iter_csv()
@@ -83,9 +101,20 @@ class TraceReader:
             raw = self._iter_jsonl()
         else:
             raw = self._iter_binary()
-        for record in raw:
-            if self._matches(record):
-                yield record
+        builder = BatchBuilder()
+        try:
+            for record in raw:
+                if self._matches(record):
+                    builder.append(record)
+                    if len(builder) >= batch_size:
+                        yield builder.finish()
+                        builder = BatchBuilder()
+        except TraceError:
+            if len(builder):
+                yield builder.finish()
+            raise
+        if len(builder):
+            yield builder.finish()
 
     def _matches(self, record: LogRecord) -> bool:
         if self.sites is not None and record.site not in self.sites:
@@ -159,6 +188,19 @@ class TraceReader:
                 )
 
 
-def read_trace(path: str | Path, **kwargs: object) -> list[LogRecord]:
-    """Load an entire trace into memory as a list (small traces only)."""
-    return list(TraceReader(path, **kwargs))  # type: ignore[arg-type]
+def read_trace(
+    path: str | Path, batch_size: int = DEFAULT_BATCH_SIZE, **kwargs: object
+) -> list[LogRecord]:
+    """Load an entire trace into memory as a record list.
+
+    **Test-scale only**: this materialises one ``LogRecord`` per row, which
+    is exactly the overhead the batch pipeline exists to avoid.  For large
+    traces use :meth:`TraceReader.iter_batches` (streaming column blocks)
+    or :meth:`repro.core.dataset.TraceDataset.from_file` (columnar ingest).
+    Internally this routes through the batch reader, so each record is
+    parsed and constructed exactly once.
+    """
+    records: list[LogRecord] = []
+    for batch in TraceReader(path, **kwargs).iter_batches(batch_size=batch_size):  # type: ignore[arg-type]
+        records.extend(batch.iter_records())
+    return records

@@ -40,22 +40,53 @@ BINARY_VERSION = 1
 _FIXED = struct.Struct("<dQQHhB")
 
 
+def values_to_row(
+    timestamp: float,
+    site: str,
+    object_id: str,
+    extension: str,
+    object_size: int,
+    user_id: str,
+    user_agent: str,
+    hit: bool,
+    status_code: int,
+    bytes_served: int,
+    datacenter: str,
+    chunk_index: int,
+) -> list[str]:
+    """Serialise raw field values to a CSV row (field order = FIELD_NAMES)."""
+    return [
+        repr(timestamp),
+        site,
+        object_id,
+        extension,
+        str(object_size),
+        user_id,
+        user_agent,
+        "HIT" if hit else "MISS",
+        str(status_code),
+        str(bytes_served),
+        datacenter,
+        str(chunk_index),
+    ]
+
+
 def record_to_row(record: LogRecord) -> list[str]:
     """Serialise a record to a CSV row (field order = FIELD_NAMES)."""
-    return [
-        repr(record.timestamp),
+    return values_to_row(
+        record.timestamp,
         record.site,
         record.object_id,
         record.extension,
-        str(record.object_size),
+        record.object_size,
         record.user_id,
         record.user_agent,
-        record.cache_status.value,
-        str(record.status_code),
-        str(record.bytes_served),
+        record.cache_status is CacheStatus.HIT,
+        record.status_code,
+        record.bytes_served,
         record.datacenter,
-        str(record.chunk_index),
-    ]
+        record.chunk_index,
+    )
 
 
 def row_to_record(row: list[str]) -> LogRecord:
@@ -81,22 +112,53 @@ def row_to_record(row: list[str]) -> LogRecord:
         raise TraceFormatError(f"malformed trace row: {row!r}") from exc
 
 
+def values_to_dict(
+    timestamp: float,
+    site: str,
+    object_id: str,
+    extension: str,
+    object_size: int,
+    user_id: str,
+    user_agent: str,
+    hit: bool,
+    status_code: int,
+    bytes_served: int,
+    datacenter: str,
+    chunk_index: int,
+) -> dict[str, Any]:
+    """Serialise raw field values to a JSON-compatible dict."""
+    return {
+        "timestamp": timestamp,
+        "site": site,
+        "object_id": object_id,
+        "extension": extension,
+        "object_size": object_size,
+        "user_id": user_id,
+        "user_agent": user_agent,
+        "cache_status": "HIT" if hit else "MISS",
+        "status_code": status_code,
+        "bytes_served": bytes_served,
+        "datacenter": datacenter,
+        "chunk_index": chunk_index,
+    }
+
+
 def record_to_dict(record: LogRecord) -> dict[str, Any]:
     """Serialise a record to a JSON-compatible dict."""
-    return {
-        "timestamp": record.timestamp,
-        "site": record.site,
-        "object_id": record.object_id,
-        "extension": record.extension,
-        "object_size": record.object_size,
-        "user_id": record.user_id,
-        "user_agent": record.user_agent,
-        "cache_status": record.cache_status.value,
-        "status_code": record.status_code,
-        "bytes_served": record.bytes_served,
-        "datacenter": record.datacenter,
-        "chunk_index": record.chunk_index,
-    }
+    return values_to_dict(
+        record.timestamp,
+        record.site,
+        record.object_id,
+        record.extension,
+        record.object_size,
+        record.user_id,
+        record.user_agent,
+        record.cache_status is CacheStatus.HIT,
+        record.status_code,
+        record.bytes_served,
+        record.datacenter,
+        record.chunk_index,
+    )
 
 
 def dict_to_record(payload: dict[str, Any]) -> LogRecord:
@@ -120,24 +182,30 @@ def dict_to_record(payload: dict[str, Any]) -> LogRecord:
         raise TraceFormatError(f"malformed trace object: {payload!r}") from exc
 
 
-def pack_record(record: LogRecord) -> bytes:
-    """Serialise a record into the compact binary format."""
+def pack_values(
+    timestamp: float,
+    site: str,
+    object_id: str,
+    extension: str,
+    object_size: int,
+    user_id: str,
+    user_agent: str,
+    hit: bool,
+    status_code: int,
+    bytes_served: int,
+    datacenter: str,
+    chunk_index: int,
+) -> bytes:
+    """Serialise raw field values into the compact binary format."""
     fixed = _FIXED.pack(
-        record.timestamp,
-        record.object_size,
-        record.bytes_served,
-        record.status_code,
-        record.chunk_index,
-        1 if record.cache_status is CacheStatus.HIT else 0,
+        timestamp,
+        object_size,
+        bytes_served,
+        status_code,
+        chunk_index,
+        1 if hit else 0,
     )
-    strings = (
-        record.site,
-        record.object_id,
-        record.extension,
-        record.user_id,
-        record.user_agent,
-        record.datacenter,
-    )
+    strings = (site, object_id, extension, user_id, user_agent, datacenter)
     parts = [fixed]
     for value in strings:
         encoded = value.encode("utf-8")
@@ -146,6 +214,24 @@ def pack_record(record: LogRecord) -> bytes:
         parts.append(struct.pack("<H", len(encoded)))
         parts.append(encoded)
     return b"".join(parts)
+
+
+def pack_record(record: LogRecord) -> bytes:
+    """Serialise a record into the compact binary format."""
+    return pack_values(
+        record.timestamp,
+        record.site,
+        record.object_id,
+        record.extension,
+        record.object_size,
+        record.user_id,
+        record.user_agent,
+        record.cache_status is CacheStatus.HIT,
+        record.status_code,
+        record.bytes_served,
+        record.datacenter,
+        record.chunk_index,
+    )
 
 
 def unpack_record(buffer: bytes, offset: int = 0) -> tuple[LogRecord, int]:

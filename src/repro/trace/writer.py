@@ -17,6 +17,7 @@ from typing import IO
 
 from repro.errors import TraceFormatError
 from repro.trace import schema
+from repro.trace.batch import RecordBatch
 from repro.trace.record import LogRecord
 
 _FORMATS = ("csv", "jsonl", "bin")
@@ -98,6 +99,32 @@ class TraceWriter:
             self.write(record)
         return self.records_written
 
+    def write_batch(self, batch: RecordBatch) -> None:
+        """Append a whole :class:`RecordBatch` without building records.
+
+        The batch's columns are bulk-converted to python rows and fed to
+        the per-format codec directly, skipping ``LogRecord`` construction
+        entirely.
+        """
+        if self._handle is None:
+            raise TraceFormatError("writer is not open; use it as a context manager")
+        if self.fmt == "csv":
+            assert self._csv_writer is not None
+            self._csv_writer.writerows(schema.values_to_row(*row) for row in batch.iter_rows())
+        elif self.fmt == "jsonl":
+            self._handle.writelines(
+                json.dumps(schema.values_to_dict(*row)) + "\n" for row in batch.iter_rows()
+            )
+        else:
+            self._handle.write(b"".join(schema.pack_values(*row) for row in batch.iter_rows()))
+        self.records_written += len(batch)
+
+    def write_batches(self, batches: Iterable[RecordBatch]) -> int:
+        """Append every batch from an iterable; returns the count written."""
+        for batch in batches:
+            self.write_batch(batch)
+        return self.records_written
+
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
@@ -109,3 +136,11 @@ def write_trace(records: Iterable[LogRecord], path: str | Path, fmt: str | None 
     """Write all ``records`` to ``path``; returns the number written."""
     with TraceWriter(path, fmt=fmt) as writer:
         return writer.write_all(records)
+
+
+def write_trace_batches(
+    batches: Iterable[RecordBatch], path: str | Path, fmt: str | None = None
+) -> int:
+    """Write a stream of record batches to ``path``; returns rows written."""
+    with TraceWriter(path, fmt=fmt) as writer:
+        return writer.write_batches(batches)

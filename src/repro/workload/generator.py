@@ -154,6 +154,26 @@ class WorkloadGenerator:
             workloads = self.generate_all()
         yield from heapq.merge(*(w.requests for w in workloads.values()), key=lambda r: r.timestamp)
 
+    def merged_request_batches(
+        self,
+        workloads: dict[str, SiteWorkload] | None = None,
+        batch_size: int = 8192,
+    ) -> Iterator[list[Request]]:
+        """The merged request stream chunked into time-ordered lists.
+
+        The batch-oriented simulator entry point
+        (:meth:`repro.cdn.simulator.CdnSimulator.run_batches`) consumes
+        these; the chunking changes nothing about the stream's order.
+        """
+        block: list[Request] = []
+        for request in self.merged_requests(workloads):
+            block.append(request)
+            if len(block) >= batch_size:
+                yield block
+                block = []
+        if block:
+            yield block
+
     # -- internals ----------------------------------------------------------
 
     def _generate_requests(

@@ -149,3 +149,76 @@ class TestQueries:
 
         with pytest.raises(EmptyDatasetError):
             TraceDataset().require_nonempty()
+
+
+class TestHourlySeriesBounds:
+    def test_out_of_range_hour_raises(self):
+        from repro.errors import AnalysisError
+
+        ds = TraceDataset.from_records([record(0.0), record(2 * 3600.0)])
+        with pytest.raises(AnalysisError, match="hour 2"):
+            ds.object_stats["o1"].hourly_series(hours=2)
+
+    def test_duration_sized_series_always_fits(self):
+        ds = TraceDataset.from_records([record(0.0), record(2 * 3600.0)])
+        series = ds.object_stats["o1"].hourly_series(hours=ds.duration_hours)
+        assert series.values.sum() == 2
+
+
+class TestSiteRecords:
+    def test_served_from_row_index(self):
+        records = [
+            record(0.0, site="V-1", obj="a"),
+            record(1.0, site="P-1", obj="b"),
+            record(2.0, site="V-1", obj="c"),
+        ]
+        ds = TraceDataset.from_records(records)
+        assert ds.site_records("V-1") == [records[0], records[2]]
+        assert ds.site_records("P-1") == [records[1]]
+        assert ds.site_records("S-1") == []
+
+    def test_columnar_store_without_record_cache(self):
+        # A fully columnar dataset (no LogRecord cache anywhere) must
+        # materialise only the requested site's rows.
+        records = [
+            record(0.0, site="V-1", obj="a"),
+            record(1.0, site="P-1", obj="b"),
+            record(2.0, site="V-1", obj="c"),
+        ]
+        from repro.trace.batch import RecordBatch
+
+        batch = RecordBatch.from_records(records).drop_records()
+        ds = TraceDataset.from_batches([batch])
+        assert ds._records is None
+        assert ds.site_records("V-1") == [records[0], records[2]]
+        assert ds._records is None  # still no full-trace materialisation
+
+
+class TestLazyMaterialization:
+    def _columnar(self, records):
+        from repro.trace.batch import RecordBatch
+
+        return TraceDataset.from_batches([RecordBatch.from_records(records).drop_records()])
+
+    def test_views_deferred_until_first_access(self):
+        ds = self._columnar([record(0.0), record(1.0, user="u2")])
+        assert ds._deferred is not None
+        assert ds._object_stats_map is None
+        stats = ds.object_stats
+        assert ds._object_stats_map is not None
+        assert ds.object_stats is stats  # cached, not rebuilt
+
+    def test_deferred_released_after_both_views(self):
+        ds = self._columnar([record(0.0), record(1.0, user="u2")])
+        ds.object_stats
+        assert ds._deferred is not None  # user index still pending
+        ds.user_timestamps("u1")
+        assert ds._deferred is None
+
+    def test_counts_available_without_materialisation(self):
+        # Aggregate counters are eager; only python-object views defer.
+        ds = self._columnar([record(0.0), record(1.0)])
+        assert len(ds) == 2
+        assert ds.sites == ["V-1"]
+        assert ds.duration_seconds == 1.0
+        assert ds._object_stats_map is None

@@ -1,0 +1,127 @@
+"""AnalysisPass protocol and the shared single-sweep run_passes driver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import TraceDataset
+from repro.core.passes import DEFAULT_CHUNK_ROWS, AnalysisPass, run_passes
+from repro.core.aggregate import HourlyVolumePass, TrafficCompositionPass
+from repro.core.caching import ResponseCodePass
+
+
+class CountingPass:
+    """Counts rows and bytes; records how the driver called it."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.begin_calls = 0
+        self.chunks = []
+        self.rows = 0
+        self.bytes_served = 0
+
+    def begin(self, dataset):
+        self.begin_calls += 1
+        self.dataset = dataset
+
+    def process(self, chunk):
+        self.chunks.append(len(chunk))
+        self.rows += len(chunk)
+        self.bytes_served += int(chunk.bytes_served.sum())
+
+    def finish(self):
+        return {"rows": self.rows, "bytes": self.bytes_served}
+
+
+class FinishOnlyPass:
+    """A pass that ignores the sweep and derives everything in finish()."""
+
+    name = "finish_only"
+
+    def begin(self, dataset):
+        self.dataset = dataset
+
+    def process(self, chunk):
+        pass
+
+    def finish(self):
+        return len(self.dataset)
+
+
+class TestProtocol:
+    def test_runtime_checkable(self):
+        assert isinstance(CountingPass(), AnalysisPass)
+        assert isinstance(HourlyVolumePass(), AnalysisPass)
+        assert isinstance(ResponseCodePass(), AnalysisPass)
+        assert not isinstance(object(), AnalysisPass)
+
+
+class TestRunPasses:
+    def test_every_row_seen_exactly_once(self, dataset):
+        counting = CountingPass()
+        results = run_passes(dataset, [counting], chunk_rows=1000)
+        assert counting.begin_calls == 1
+        assert results["counting"]["rows"] == len(dataset)
+        assert sum(counting.chunks) == len(dataset)
+        # Every chunk except the last is exactly chunk_rows.
+        assert all(size == 1000 for size in counting.chunks[:-1])
+        assert results["counting"]["bytes"] == int(dataset.store().bytes_served.sum())
+
+    def test_chunk_size_invariance(self, dataset):
+        coarse = run_passes(dataset, [CountingPass(), HourlyVolumePass(), ResponseCodePass()])
+        fine = run_passes(
+            dataset,
+            [CountingPass(), HourlyVolumePass(), ResponseCodePass()],
+            chunk_rows=777,
+        )
+        assert coarse["counting"] == fine["counting"]
+        assert coarse["response_codes"].counts == fine["response_codes"].counts
+        assert list(coarse["hourly_volume"].series) == list(fine["hourly_volume"].series)
+        for site, series in coarse["hourly_volume"].series.items():
+            assert np.allclose(series.values, fine["hourly_volume"].series[site].values)
+
+    def test_multiple_passes_share_one_sweep(self, dataset):
+        first, second = CountingPass(), CountingPass()
+        run_passes(dataset, [first, second], chunk_rows=500)
+        assert first.chunks == second.chunks
+
+    def test_finish_only_pass_rides_along(self, dataset):
+        results = run_passes(dataset, [FinishOnlyPass(), CountingPass()])
+        assert results["finish_only"] == len(dataset)
+        assert results["counting"]["rows"] == len(dataset)
+
+    def test_chunks_share_store_dictionaries(self, dataset):
+        store = dataset.store()
+
+        class DictCheckPass:
+            name = "dict_check"
+
+            def begin(self, ds):
+                self.shared = True
+
+            def process(self, chunk):
+                if chunk.site.values is not store.site.values:
+                    self.shared = False
+
+            def finish(self):
+                return self.shared
+
+        assert run_passes(dataset, [DictCheckPass()])["dict_check"] is True
+
+    def test_empty_dataset_skips_sweep(self):
+        empty = TraceDataset.from_records([], engine="batch")
+        counting = CountingPass()
+        results = run_passes(empty, [counting])
+        assert counting.begin_calls == 1
+        assert counting.chunks == []
+        assert results["counting"] == {"rows": 0, "bytes": 0}
+
+    def test_default_chunk_rows_sane(self):
+        assert DEFAULT_CHUNK_ROWS > 0
+
+    def test_traffic_pass_matches_wrapper(self, dataset):
+        from repro.core.aggregate import traffic_composition
+
+        swept = run_passes(dataset, [TrafficCompositionPass()])["traffic_composition"]
+        assert swept.rows == traffic_composition(dataset).rows

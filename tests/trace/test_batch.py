@@ -1,0 +1,265 @@
+"""Columnar RecordBatch tests: round-trips, dictionary invariants, batch I/O.
+
+The batch layer has one load-bearing invariant — string dictionaries
+assign codes in first-appearance order, and every derived batch
+(``concat``, ``rows``, ``take``, ``filter``) either preserves or shares
+its parent's dictionaries.  The columnar dataset engine leans on this to
+reproduce the scalar engine's iteration order exactly, so it is pinned
+here independently of the dataset tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError, TraceTruncationError
+from repro.trace import schema
+from repro.trace.batch import (
+    CATEGORIES,
+    STRING_FIELDS,
+    BatchBuilder,
+    RecordBatch,
+    iter_record_batches,
+)
+from repro.trace.reader import TraceReader
+from repro.trace.record import LogRecord
+from repro.trace.writer import TraceWriter, write_trace, write_trace_batches
+from repro.types import CacheStatus
+
+from tests.trace.test_io import record_strategy, sample_records
+
+
+def varied_records(n: int = 24) -> list[LogRecord]:
+    """Records spanning several sites/users/extensions so dictionaries
+    have more than one entry and repeats out of order."""
+    sites = ["V-1", "P-1", "V-1", "S-1", "P-2"]
+    extensions = ["mp4", "jpg", "gif", "html"]
+    return [
+        LogRecord(
+            timestamp=float(i),
+            site=sites[i % len(sites)],
+            object_id=f"obj{i % 7}",
+            extension=extensions[i % len(extensions)],
+            object_size=1000 + i,
+            user_id=f"user{i % 5}",
+            user_agent=f"UA-{i % 3}",
+            cache_status=CacheStatus.HIT if i % 3 else CacheStatus.MISS,
+            status_code=200 if i % 4 else 304,
+            bytes_served=500 + i,
+            datacenter="dc-europe" if i % 2 else "dc-asia",
+            chunk_index=i % 3 - 1,
+        )
+        for i in range(n)
+    ]
+
+
+def first_appearance_order(values: list[str]) -> list[str]:
+    seen: dict[str, None] = {}
+    for value in values:
+        seen.setdefault(value)
+    return list(seen)
+
+
+def assert_dictionaries_canonical(batch: RecordBatch, records: list[LogRecord]) -> None:
+    """Every string column decodes to the source values AND its dictionary
+    is ordered by first appearance in a sequential scan."""
+    for field in STRING_FIELDS:
+        column = getattr(batch, field)
+        raw = [getattr(record, field) for record in records]
+        assert column.tolist() == raw
+        assert list(column.values) == first_appearance_order(raw)
+        assert column.codes.dtype == np.int32
+
+
+class TestRecordBatch:
+    def test_from_records_roundtrip(self):
+        records = varied_records()
+        batch = RecordBatch.from_records(records)
+        assert len(batch) == len(records)
+        assert batch.to_records() == records
+        assert_dictionaries_canonical(batch, records)
+
+    def test_empty_batch(self):
+        batch = RecordBatch.empty()
+        assert len(batch) == 0
+        assert batch.to_records() == []
+
+    def test_reconstructed_records_after_drop(self):
+        records = varied_records(8)
+        batch = RecordBatch.from_records(records).drop_records()
+        # Records rebuilt purely from the columns must match the originals.
+        assert batch.to_records() == records
+        assert batch.record_at(3) == records[3]
+
+    def test_numeric_dtypes(self):
+        batch = RecordBatch.from_records(varied_records(6))
+        assert batch.timestamp.dtype == np.float64
+        assert batch.object_size.dtype == np.int64
+        assert batch.bytes_served.dtype == np.int64
+        assert batch.category.dtype == np.uint8
+
+    def test_category_codes_match_records(self):
+        records = varied_records(12)
+        batch = RecordBatch.from_records(records)
+        assert [CATEGORIES[code] for code in batch.category] == [r.category for r in records]
+
+    def test_concat_preserves_first_appearance_order(self):
+        records = varied_records(30)
+        parts = [
+            RecordBatch.from_records(records[:10]),
+            RecordBatch.from_records(records[10:17]),
+            RecordBatch.from_records(records[17:]),
+        ]
+        merged = RecordBatch.concat(parts)
+        assert merged.to_records() == records
+        # The merged dictionaries must look exactly as if one sequential
+        # scan had built the batch — the columnar engine depends on it.
+        assert_dictionaries_canonical(merged, records)
+
+    def test_concat_carries_record_cache(self):
+        records = varied_records(10)
+        parts = [RecordBatch.from_records(records[:5]), RecordBatch.from_records(records[5:])]
+        merged = RecordBatch.concat(parts)
+        assert merged._records == records
+        dropped = [p.rows(0, len(p)).drop_records() for p in parts]
+        assert RecordBatch.concat(dropped)._records is None
+
+    def test_concat_skips_empty_batches(self):
+        records = varied_records(6)
+        merged = RecordBatch.concat(
+            [RecordBatch.empty(), RecordBatch.from_records(records), RecordBatch.empty()]
+        )
+        assert merged.to_records() == records
+
+    def test_rows_take_filter_share_dictionaries(self):
+        records = varied_records(20)
+        batch = RecordBatch.from_records(records)
+        window = batch.rows(5, 12)
+        taken = batch.take(np.array([1, 3, 5]))
+        masked = batch.filter(batch.status_code == 200)
+        for view in (window, taken, masked):
+            for field in STRING_FIELDS:
+                assert getattr(view, field).values is getattr(batch, field).values
+        assert window.to_records() == records[5:12]
+        assert taken.to_records() == [records[1], records[3], records[5]]
+        assert masked.to_records() == [r for r in records if r.status_code == 200]
+
+    def test_iter_record_batches_chunking(self):
+        records = varied_records(25)
+        batches = list(iter_record_batches(iter(records), batch_size=10))
+        assert [len(b) for b in batches] == [10, 10, 5]
+        assert [r for b in batches for r in b.iter_records()] == records
+
+    @settings(max_examples=25)
+    @given(records=st.lists(record_strategy, max_size=20))
+    def test_roundtrip_property(self, records):
+        batch = RecordBatch.from_records(records)
+        assert batch.to_records() == records
+        assert batch.drop_records().to_records() == records
+        assert_dictionaries_canonical(batch, records)
+
+    @settings(max_examples=25)
+    @given(
+        records=st.lists(record_strategy, min_size=1, max_size=20),
+        split=st.integers(min_value=0, max_value=20),
+    )
+    def test_concat_equals_single_scan_property(self, records, split):
+        split = min(split, len(records))
+        merged = RecordBatch.concat(
+            [RecordBatch.from_records(records[:split]), RecordBatch.from_records(records[split:])]
+        )
+        reference = RecordBatch.from_records(records)
+        assert merged.to_records() == records
+        for field in STRING_FIELDS:
+            assert list(getattr(merged, field).values) == list(getattr(reference, field).values)
+            assert np.array_equal(getattr(merged, field).codes, getattr(reference, field).codes)
+
+
+class TestBatchIO:
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl", "bin"])
+    def test_write_batch_read_batches_roundtrip(self, tmp_path, fmt):
+        records = varied_records(40)
+        path = tmp_path / f"trace.{fmt}"
+        written = write_trace_batches(iter_record_batches(iter(records), batch_size=16), path)
+        assert written == len(records)
+        loaded = list(TraceReader(path).iter_batches(batch_size=16))
+        assert [len(b) for b in loaded] == [16, 16, 8]
+        assert [r for b in loaded for r in b.iter_records()] == records
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl", "bin"])
+    def test_write_batch_identical_to_write_records(self, tmp_path, fmt):
+        # The columnar writer must be byte-for-byte the record writer.
+        records = varied_records(15)
+        record_path = tmp_path / f"records.{fmt}"
+        batch_path = tmp_path / f"batch.{fmt}"
+        write_trace(records, record_path)
+        batch = RecordBatch.from_records(records).drop_records()
+        with TraceWriter(batch_path) as writer:
+            writer.write_batch(batch)
+        assert batch_path.read_bytes() == record_path.read_bytes()
+
+    def test_reader_filters_apply_to_batches(self, tmp_path):
+        records = varied_records(20)
+        path = tmp_path / "t.csv"
+        write_trace(records, path)
+        reader = TraceReader(path, sites={"V-1"})
+        loaded = [r for b in reader.iter_batches(batch_size=4) for r in b.iter_records()]
+        assert loaded == [r for r in records if r.site == "V-1"]
+
+    def test_truncated_binary_flushes_partial_batch(self, tmp_path):
+        # Good records parsed before the cut must be flushed as a final
+        # partial batch before the truncation error propagates.
+        records = sample_records(5)
+        header = schema.BINARY_MAGIC + struct.pack("<H", schema.BINARY_VERSION)
+        packed = [schema.pack_record(r) for r in records]
+        path = tmp_path / "t.bin"
+        path.write_bytes(header + b"".join(packed[:4]) + packed[4][:-3])
+        seen: list[LogRecord] = []
+        with pytest.raises(TraceTruncationError):
+            for batch in TraceReader(path).iter_batches(batch_size=3):
+                seen.extend(batch.iter_records())
+        assert seen == records[:4]
+
+    def test_corrupt_binary_flushes_partial_batch(self, tmp_path):
+        records = sample_records(4)
+        header = schema.BINARY_MAGIC + struct.pack("<H", schema.BINARY_VERSION)
+        packed = [schema.pack_record(r) for r in records]
+        bad = bytearray(packed[2])
+        bad[schema._FIXED.size + 2] = 0xFF  # invalid UTF-8 in the site string
+        path = tmp_path / "t.bin"
+        path.write_bytes(header + packed[0] + packed[1] + bytes(bad) + packed[3])
+        seen: list[LogRecord] = []
+        with pytest.raises(TraceFormatError):
+            for batch in TraceReader(path).iter_batches(batch_size=10):
+                seen.extend(batch.iter_records())
+        assert seen == records[:2]
+
+    def test_corrupt_jsonl_flushes_partial_batch(self, tmp_path):
+        records = sample_records(3)
+        path = tmp_path / "t.jsonl"
+        write_trace(records, path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        seen: list[LogRecord] = []
+        with pytest.raises(TraceFormatError):
+            for batch in TraceReader(path).iter_batches(batch_size=100):
+                seen.extend(batch.iter_records())
+        assert seen == records
+
+
+class TestBatchBuilder:
+    def test_interning_reuses_codes(self):
+        builder = BatchBuilder()
+        records = varied_records(10)
+        for record in records:
+            builder.append(record)
+        batch = builder.finish()
+        assert_dictionaries_canonical(batch, records)
+
+    def test_finish_empty(self):
+        assert len(BatchBuilder().finish()) == 0
