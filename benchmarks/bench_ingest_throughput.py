@@ -22,6 +22,7 @@ import time
 from conftest import print_header, record_extra
 
 from repro.core.dataset import TraceDataset
+from repro.trace.batch import RecordBatch
 
 
 def _best_of(build, repeat: int = 5) -> float:
@@ -52,15 +53,43 @@ def test_ingest_throughput(pipeline_result):
     full_seconds = _best_of(full_build)
     speedup = record_seconds / batch_seconds
 
+    # Streaming keep_store=False leg: re-chunk the trace into >= 10 batches
+    # so the peak-resident bound (one batch + aggregates, not the full
+    # store) is actually exercised, then fold without retaining rows.
+    store = RecordBatch.concat(stripped)
+    chunk_rows = max(1, total // 12)
+    streamed = [
+        store.rows(start, min(start + chunk_rows, total)).drop_records()
+        for start in range(0, total, chunk_rows)
+    ]
+    full_store_bytes = sum(batch.nbytes for batch in streamed)
+    streaming_seconds = _best_of(
+        lambda: TraceDataset.from_batches(streamed, keep_store=False)
+    )
+    streaming = TraceDataset.from_batches(streamed, keep_store=False)
+    stats = streaming.ingest_stats
+    assert stats is not None
+    assert stats.batches >= 10
+    assert not streaming.has_store
+    # Peak row memory is one in-flight batch, not the full store: the trace
+    # is >= 10x one batch, yet resident rows at the peak stay bounded by a
+    # single chunk on top of the (O(users+objects+timestamps)) aggregates.
+    max_batch_bytes = max(batch.nbytes for batch in streamed)
+    assert full_store_bytes >= 10 * max_batch_bytes
+    assert stats.peak_resident_bytes - stats.aggregate_bytes <= 2 * max_batch_bytes
+    assert stats.peak_resident_bytes < stats.aggregate_bytes + full_store_bytes
+
     # Equivalence spot checks: both engines index the trace identically.
     reference = TraceDataset.from_records(records, engine="record")
     columnar = TraceDataset.from_batches(stripped)
-    assert len(reference) == len(columnar) == total
-    assert reference.sites == columnar.sites
+    assert len(reference) == len(columnar) == len(streaming) == total
+    assert reference.sites == columnar.sites == streaming.sites
     assert reference.duration_seconds == columnar.duration_seconds
     assert list(reference.object_stats) == list(columnar.object_stats)
+    assert list(reference.object_stats) == list(streaming.object_stats)
     some_object = next(iter(reference.object_stats))
     assert reference.object_stats[some_object] == columnar.object_stats[some_object]
+    assert reference.object_stats[some_object] == streaming.object_stats[some_object]
 
     print_header(
         "Ingest throughput — columnar batches vs record-at-a-time",
@@ -71,6 +100,11 @@ def test_ingest_throughput(pipeline_result):
     print(f"  batch ingest:  {batch_seconds:8.3f}s  {total / batch_seconds:12,.0f} records/s")
     print(f"  batch + materialised views: {full_seconds:8.3f}s")
     print(f"  ingest speedup: {speedup:.1f}x")
+    print(
+        f"  streaming (no store): {streaming_seconds:8.3f}s over {stats.batches} batches, "
+        f"peak resident ~{stats.peak_resident_bytes / 1e6:.1f} MB "
+        f"vs full store ~{full_store_bytes / 1e6:.1f} MB"
+    )
 
     record_extra(
         "ingest_throughput",
@@ -82,6 +116,15 @@ def test_ingest_throughput(pipeline_result):
             "record_per_s": round(total / record_seconds, 1),
             "batch_per_s": round(total / batch_seconds, 1),
             "speedup": round(speedup, 2),
+        },
+        peak_memory={
+            "streaming_seconds": round(streaming_seconds, 6),
+            "batches": stats.batches,
+            "batch_rows": chunk_rows,
+            "peak_resident_bytes": stats.peak_resident_bytes,
+            "aggregate_bytes": stats.aggregate_bytes,
+            "full_store_bytes": full_store_bytes,
+            "resident_series": list(stats.resident_series),
         },
     )
     assert speedup >= 5.0

@@ -72,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BATCH_SIZE,
         help=f"rows per columnar batch while reading (default {DEFAULT_BATCH_SIZE})",
     )
+    ana.add_argument(
+        "--keep-store",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "retain the columnar row store after ingest (default); "
+            "--no-keep-store streams batches through the accumulators and "
+            "keeps only aggregates, bounding memory by one batch (batch engine only)"
+        ),
+    )
 
     bench = sub.add_parser(
         "ingest-bench",
@@ -86,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--repeat", type=int, default=3, help="timing repetitions (best is kept)")
     bench.add_argument("--results", help="append the measurement to this JSON results file")
+    bench.add_argument(
+        "--streaming",
+        action="store_true",
+        help=(
+            "also time the streaming keep_store=False ingest and record its "
+            "peak-memory series alongside throughput"
+        ),
+    )
 
     rep = sub.add_parser("reproduce", help="end-to-end: generate, simulate, analyze, report")
     _add_common(rep)
@@ -141,6 +159,30 @@ def _ingest_bench(args: argparse.Namespace) -> int:
     print(f"record engine: {record_seconds:8.3f}s  {total / record_seconds:12,.0f} records/s")
     print(f"batch engine:  {batch_seconds:8.3f}s  {total / batch_seconds:12,.0f} records/s")
     print(f"speedup: {speedup:.1f}x")
+
+    peak_memory = None
+    if args.streaming:
+        streaming_seconds = best_of(
+            lambda: TraceDataset.from_batches(batches, keep_store=False)
+        )
+        streaming = TraceDataset.from_batches(batches, keep_store=False)
+        stats = streaming.ingest_stats
+        assert stats is not None
+        full_store_bytes = sum(batch.nbytes for batch in batches)
+        peak_memory = {
+            "batches": stats.batches,
+            "streaming_seconds": round(streaming_seconds, 6),
+            "peak_resident_bytes": stats.peak_resident_bytes,
+            "full_store_bytes": full_store_bytes,
+            "aggregate_bytes": stats.aggregate_bytes,
+            "resident_series": list(stats.resident_series),
+        }
+        print(
+            f"streaming:     {streaming_seconds:8.3f}s  "
+            f"{total / streaming_seconds:12,.0f} records/s  "
+            f"(peak resident ~{stats.peak_resident_bytes / 1e6:.1f} MB over "
+            f"{stats.batches} batches, full store ~{full_store_bytes / 1e6:.1f} MB)"
+        )
     if args.results:
         path = Path(args.results)
         entries: list = []
@@ -165,6 +207,8 @@ def _ingest_bench(args: argparse.Namespace) -> int:
                 "timestamp": round(time.time(), 3),
             }
         )
+        if peak_memory is not None:
+            entries[-1]["peak_memory"] = peak_memory
         path.write_text(json.dumps(entries, indent=2) + "\n")
         print(f"appended ingest record to {path}")
     return 0
@@ -208,7 +252,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             records = read_trace(args.trace, batch_size=args.batch_size)
             dataset = TraceDataset.from_records(records, engine="record")
         else:
-            dataset = TraceDataset.from_file(args.trace, batch_size=args.batch_size)
+            dataset = TraceDataset.from_file(
+                args.trace, batch_size=args.batch_size, keep_store=args.keep_store
+            )
         study = Study(run_clustering=not args.no_clustering)
         report = study.run(dataset)
         print(report.render_text())

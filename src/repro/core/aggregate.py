@@ -20,16 +20,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.accumulate import HourlyAccumulator, decode_hourly_keys
 from repro.core.dataset import TraceDataset
 from repro.core.passes import run_passes
 from repro.stats.timeseries import HourlyTimeSeries, diurnality_index
 from repro.trace.batch import RecordBatch
 from repro.trace.useragent import parse_user_agent
-from repro.types import HOUR_SECONDS, Continent, ContentCategory, DeviceType
+from repro.types import ContentCategory, DeviceType
 from repro.workload.catalog import ContentCatalog
-
-#: Map data-center id back to a continent UTC offset for local-time series.
-_DC_OFFSET = {f"dc-{continent.value}": continent.utc_offset_hours for continent in Continent}
 
 
 @dataclass
@@ -79,6 +77,7 @@ class ContentCompositionPass:
     """
 
     name = "content_composition"
+    supports_storeless = True
 
     def __init__(self, catalogs: dict[str, ContentCatalog] | None = None):
         self.catalogs = catalogs
@@ -137,6 +136,7 @@ class TrafficCompositionPass:
     """Fig. 2 as an index-level pass over the per-object aggregates."""
 
     name = "traffic_composition"
+    supports_storeless = True
 
     def __init__(self) -> None:
         self._dataset: TraceDataset | None = None
@@ -206,57 +206,65 @@ class HourlyVolumeResult:
 class HourlyVolumePass:
     """Fig. 3 as a columnar scan pass.
 
-    Accumulates one ``(site, hour)`` volume matrix with a combined-key
-    ``np.bincount`` per chunk; local-time conversion maps each record's
-    data-center code to a UTC offset with one fancy-index.
+    Accumulates the integer ``(site, UTC offset, UTC hour)`` table of
+    :class:`~repro.core.accumulate.HourlyAccumulator` — the local-time
+    shift and the wheel modulo are applied to *whole hours* in ``finish``,
+    so the table (and hence the figure) is independent of how the rows
+    were chunked or batched.  Datasets built with ``keep_store=False``
+    carry the same table from ingest; the pass adopts it and skips the
+    scan entirely.
     """
 
     name = "hourly_volume"
+    supports_storeless = True
 
     def __init__(self, local_time: bool = True, by_bytes: bool = False):
         self.local_time = local_time
         self.by_bytes = by_bytes
         self._hours = 1
         self._site_values: list[str] = []
-        self._volume: np.ndarray = np.zeros((0, 1))
-        self._counts: np.ndarray = np.zeros(0, dtype=np.int64)
-        self._dc_offsets: np.ndarray | None = None
+        self._accumulator: HourlyAccumulator | None = None
+        self._tables: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     def begin(self, dataset: TraceDataset) -> None:
         self._hours = dataset.duration_hours
-        if len(dataset):
-            self._site_values = dataset.store().site.values
+        self._site_values = dataset.site_values if len(dataset) else []
+        aggregates = dataset.scan_aggregates
+        if aggregates is not None:
+            self._tables = (aggregates.hourly_keys, aggregates.hourly_counts, aggregates.hourly_bytes)
+            self._accumulator = None
         else:
-            self._site_values = []
-        n_sites = len(self._site_values)
-        self._volume = np.zeros((n_sites, self._hours))
-        self._counts = np.zeros(n_sites, dtype=np.int64)
-        self._dc_offsets = None
+            self._tables = None
+            self._accumulator = HourlyAccumulator()
 
     def process(self, chunk: RecordBatch) -> None:
-        ts = chunk.timestamp
-        site_codes = chunk.site.codes.astype(np.int64)
-        if self.local_time:
-            if self._dc_offsets is None or len(self._dc_offsets) < len(chunk.datacenter.values):
-                self._dc_offsets = np.array(
-                    [float(_DC_OFFSET.get(dc, 0)) for dc in chunk.datacenter.values]
-                )
-            offsets = self._dc_offsets[chunk.datacenter.codes]
-            ts = (ts + offsets * 3600.0) % (self._hours * HOUR_SECONDS)
-        bins = np.clip((ts // HOUR_SECONDS).astype(np.int64), 0, self._hours - 1)
-        key = site_codes * self._hours + bins
-        weights = chunk.bytes_served.astype(np.float64) if self.by_bytes else None
-        flat = np.bincount(key, weights=weights, minlength=self._volume.size)
-        self._volume += flat.reshape(self._volume.shape)
-        self._counts += np.bincount(site_codes, minlength=self._counts.size)
+        if self._accumulator is not None:
+            self._accumulator.update(chunk, chunk.site.codes.astype(np.int64))
 
     def finish(self) -> HourlyVolumeResult:
+        if self._tables is not None:
+            keys, counts, byte_sums = self._tables
+        else:
+            assert self._accumulator is not None
+            keys, counts, byte_sums = self._accumulator.finalize()
+        n_sites = len(self._site_values)
+        volume = np.zeros((n_sites, self._hours))
+        site_rows = np.zeros(n_sites, dtype=np.int64)
+        if keys.size:
+            site, offset, utc_hour = decode_hourly_keys(keys)
+            if self.local_time:
+                bins = (utc_hour + offset) % self._hours
+            else:
+                bins = np.clip(utc_hour, 0, self._hours - 1)
+            weights = byte_sums if self.by_bytes else counts
+            np.add.at(volume, (site, bins), weights.astype(np.float64))
+            site_rows[:] = np.bincount(site, weights=counts, minlength=n_sites)[:n_sites].astype(np.int64)
         # Dictionary code order is first-appearance order, so the series
         # dict iterates exactly like the scalar implementation's.
         series = {
-            site: HourlyTimeSeries(self._hours, self._volume[code])
+            site: HourlyTimeSeries(self._hours, volume[code])
             for code, site in enumerate(self._site_values)
-            if self._counts[code]
+            if site_rows[code]
         }
         return HourlyVolumeResult(series=series)
 
@@ -291,13 +299,17 @@ class DeviceCompositionResult:
 
 
 class DeviceCompositionPass:
-    """Fig. 4 as an index-level pass over the per-user index.
+    """Fig. 4 as an index-level pass over the columnar user timelines.
 
+    Consumes :meth:`~repro.core.dataset.TraceDataset.user_timelines`
+    (first-appearance order, available on every engine including
+    ``keep_store=False``) instead of the python-object user dicts.
     User-agent strings repeat heavily across users, so the parse result is
     memoised per distinct string.
     """
 
     name = "device_composition"
+    supports_storeless = True
 
     def __init__(self) -> None:
         self._dataset: TraceDataset | None = None
@@ -310,11 +322,10 @@ class DeviceCompositionPass:
 
     def finish(self) -> DeviceCompositionResult:
         assert self._dataset is not None
+        timelines = self._dataset.user_timelines()
         counts: dict[str, dict[DeviceType, int]] = {}
         device_of: dict[str, DeviceType] = {}
-        user_agents = self._dataset._user_agent
-        for user_id, site in self._dataset._user_site.items():
-            agent = user_agents[user_id]
+        for site, agent in zip(timelines.sites, timelines.agents):
             device = device_of.get(agent)
             if device is None:
                 device = parse_user_agent(agent).device

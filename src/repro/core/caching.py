@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.accumulate import RESPONSE_STATUS_SPAN, ResponseCodeAccumulator
 from repro.core.dataset import TraceDataset
 from repro.core.passes import run_passes
 from repro.stats.correlation import pearson, spearman
@@ -121,44 +122,54 @@ class ResponseCodeResult:
 class ResponseCodePass:
     """Fig. 16 as a columnar scan pass.
 
-    Each chunk is reduced with one ``np.unique`` over a combined
-    ``(site, category, status)`` key; ``finish`` decodes the keys back
-    into the nested per-site/per-category counters.
+    Each chunk is folded into the combined ``(site, category, status)``
+    key table of :class:`~repro.core.accumulate.ResponseCodeAccumulator`;
+    ``finish`` decodes the keys back into the nested per-site/per-category
+    counters.  Datasets built with ``keep_store=False`` carry the same
+    table from ingest; the pass adopts it and skips the scan entirely.
     """
 
     name = "response_codes"
+    supports_storeless = True
 
     #: Combined-key stride for the status code; HTTP codes are < 1000.
-    _STATUS_SPAN = 1000
+    _STATUS_SPAN = RESPONSE_STATUS_SPAN
 
     def __init__(self) -> None:
-        self._counts: dict[int, int] = {}
+        self._accumulator: ResponseCodeAccumulator | None = None
+        self._table: tuple[np.ndarray, np.ndarray] | None = None
         self._site_values: list[str] = []
 
     def begin(self, dataset: TraceDataset) -> None:
-        self._counts = {}
-        self._site_values = dataset.store().site.values if len(dataset) else []
+        self._site_values = dataset.site_values if len(dataset) else []
+        aggregates = dataset.scan_aggregates
+        if aggregates is not None:
+            self._table = (aggregates.response_keys, aggregates.response_counts)
+            self._accumulator = None
+        else:
+            self._table = None
+            self._accumulator = ResponseCodeAccumulator(len(CATEGORIES))
 
     def process(self, chunk: RecordBatch) -> None:
-        status = chunk.status_code
-        n_categories = len(CATEGORIES)
-        key = (
-            chunk.site.codes.astype(np.int64) * n_categories + chunk.category
-        ) * self._STATUS_SPAN + status
-        unique_keys, key_counts = np.unique(key, return_counts=True)
-        counts = self._counts
-        for combined, count in zip(unique_keys.tolist(), key_counts.tolist()):
-            counts[combined] = counts.get(combined, 0) + count
+        if self._accumulator is not None:
+            self._accumulator.update(chunk, chunk.site.codes.astype(np.int64))
 
     def finish(self) -> ResponseCodeResult:
+        if self._table is not None:
+            keys, key_counts = self._table
+        else:
+            assert self._accumulator is not None
+            keys, key_counts = self._accumulator.finalize()
         counts: dict[str, dict[ContentCategory, Counter]] = {}
         n_categories = len(CATEGORIES)
-        for combined in sorted(self._counts):
+        # Keys come out of the accumulator ascending, preserving the
+        # sorted-iteration order of the original per-chunk dict reduce.
+        for combined, count in zip(keys.tolist(), key_counts.tolist()):
             site_and_category, status = divmod(combined, self._STATUS_SPAN)
             site_code, category_code = divmod(site_and_category, n_categories)
             per_site = counts.setdefault(self._site_values[site_code], {})
             counter = per_site.setdefault(CATEGORIES[category_code], Counter())
-            counter[status] = self._counts[combined]
+            counter[status] = count
         return ResponseCodeResult(counts=counts)
 
 

@@ -1,17 +1,25 @@
 """Trace datasets: indexed views over a stream of log records.
 
 :class:`TraceDataset` ingests a trace once and builds the indices every
-analysis needs: a columnar store (:class:`~repro.trace.batch.RecordBatch`),
-per-object aggregates (:class:`ObjectStats` — request count, unique users,
-byte volume, hourly series, hit counts), per-user request timelines, and a
-per-site row index.  Analyses then run off these indices without
-rescanning the trace.
+analysis needs: per-object aggregates (:class:`ObjectStats` — request
+count, unique users, byte volume, hourly series, hit counts), per-user
+request timelines, per-site row extents, and (optionally) the columnar
+row store (:class:`~repro.trace.batch.RecordBatch`) plus a per-site row
+index.  Analyses then run off these indices without rescanning the trace.
 
-Two ingest engines build the same indices:
+Ingest is **streaming**: :meth:`from_batches` folds each incoming batch
+into the mergeable partials of :mod:`repro.core.accumulate` and never
+needs more than the current batch plus the aggregates resident —
+``keep_store=False`` drops each batch after folding it, so a trace many
+times larger than memory ingests in O(batch + aggregates).  With
+``keep_store=True`` (the default) the batches are additionally retained
+and concatenated into the row store that scan-style analyses and
+``site_records`` sweep.
 
-* ``engine="batch"`` (default) — concatenates the input into one columnar
-  store and constructs every index with vectorised ``np.bincount`` /
-  ``np.unique`` group-bys.  This is the production path.
+Two engines build the same indices:
+
+* ``engine="batch"`` (default) — the streaming accumulator fold above.
+  This is the production path.
 * ``engine="record"`` — the original record-at-a-time loop, kept as the
   reference implementation; the equivalence tests pin the batch engine to
   it field-for-field, and the ingest benchmark measures the speedup
@@ -27,6 +35,13 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.accumulate import (
+    IngestStats,
+    ScanTables,
+    SiteExtent,
+    StreamingAggregates,
+    UserTimelines,
+)
 from repro.errors import AnalysisError, ConfigError, EmptyDatasetError
 from repro.stats.timeseries import HourlyTimeSeries
 from repro.trace.batch import (
@@ -114,9 +129,14 @@ class ObjectStats:
 class TraceDataset:
     """All analyses' view of one trace.
 
-    Build with :meth:`from_batches` (columnar, the production path),
-    :meth:`from_records` (any iterable of records), or :meth:`from_file`
-    (a trace written by :class:`~repro.trace.writer.TraceWriter`).
+    Build with :meth:`from_batches` (columnar streaming fold, the
+    production path), :meth:`from_records` (any iterable of records), or
+    :meth:`from_file` (a trace written by
+    :class:`~repro.trace.writer.TraceWriter`).  Pass ``keep_store=False``
+    to drop the rows after folding each batch: every index and
+    figure analysis still works off the aggregates, only the row-level
+    accessors (``records``, ``store``, ``site_records``) become
+    unavailable.
     """
 
     def __init__(self) -> None:
@@ -125,15 +145,24 @@ class TraceDataset:
         self._length = 0
         # Python-object views of the indices.  The scalar engine fills
         # these eagerly; the columnar engine leaves them ``None`` and
-        # materialises them on first access from ``_deferred`` (numpy
-        # group-by results computed once at ingest).
+        # materialises them on first access from ``_deferred`` (the
+        # accumulators' finalised group-by tables).
         self._object_stats_map: dict[str, ObjectStats] | None = {}
         self._user_times_map: dict[str, list[float]] | None = {}
         self._user_site_map: dict[str, str] | None = {}
         self._user_agent_map: dict[str, str] | None = {}
         self._deferred: dict[str, object] | None = None
         self._sites: set[str] = set()
-        self._site_rows: dict[str, list[int] | np.ndarray] = {}
+        self._site_rows_map: dict[str, list[int] | np.ndarray] | None = {}
+        self._site_extents: dict[str, SiteExtent] | None = None
+        self._timelines: UserTimelines | None = None
+        #: Finalised hourly / response-code scan tables; only present when
+        #: the dataset was built with ``keep_store=False`` (no store for
+        #: the scan passes to sweep).
+        self.scan_aggregates: ScanTables | None = None
+        #: What the last streaming ingest cost; ``None`` for the scalar
+        #: engine and hand-built datasets.
+        self.ingest_stats: IngestStats | None = None
         self.duration_seconds: float = 0.0
 
     # -- lazily materialised index views ---------------------------------------
@@ -164,6 +193,12 @@ class TraceDataset:
             self._materialize_user_index()
         return self._user_agent_map  # type: ignore[return-value]
 
+    @property
+    def _site_rows(self) -> dict[str, list[int] | np.ndarray]:
+        if self._site_rows_map is None:
+            self._materialize_site_rows()
+        return self._site_rows_map  # type: ignore[return-value]
+
     # -- construction ---------------------------------------------------------
 
     @classmethod
@@ -172,17 +207,19 @@ class TraceDataset:
         records: Iterable[LogRecord],
         engine: str = "batch",
         batch_size: int = DEFAULT_BATCH_SIZE,
+        keep_store: bool = True,
     ) -> "TraceDataset":
         """Build from a record iterable (materialised; test-scale API).
 
         ``engine="batch"`` chunks the records into columnar batches and
-        runs the vectorised ingest; ``engine="record"`` runs the scalar
-        reference loop.  Both produce identical indices.
+        runs the streaming accumulator ingest; ``engine="record"`` runs
+        the scalar reference loop.  Both produce identical indices.
         """
         records = records if isinstance(records, list) else list(records)
         if engine == "batch":
-            dataset = cls.from_batches(iter_record_batches(records, batch_size))
-            dataset._records = records
+            dataset = cls.from_batches(iter_record_batches(records, batch_size), keep_store=keep_store)
+            if keep_store:
+                dataset._records = records
             return dataset
         if engine != "record":
             raise ConfigError(f"unknown ingest engine {engine!r}; expected 'batch' or 'record'")
@@ -195,14 +232,59 @@ class TraceDataset:
         return dataset
 
     @classmethod
-    def from_batches(cls, batches: Iterable[RecordBatch]) -> "TraceDataset":
-        """Build from a stream of columnar batches (the production path)."""
-        store = RecordBatch.concat(list(batches))
+    def from_batches(
+        cls,
+        batches: Iterable[RecordBatch],
+        keep_store: bool = True,
+    ) -> "TraceDataset":
+        """Build from a stream of columnar batches (the production path).
+
+        Each batch is folded into the mergeable accumulators of
+        :mod:`repro.core.accumulate` and, when ``keep_store=False``,
+        dropped immediately afterwards — peak memory is then bounded by
+        one batch plus the aggregates, independent of trace length.  The
+        cost is recorded on :attr:`ingest_stats`.
+        """
         dataset = cls()
-        dataset._store = store
-        dataset._length = len(store)
-        if len(store):
-            dataset._build_indices_columnar()
+        aggregates = StreamingAggregates(
+            scan_aggregates=not keep_store, n_categories=len(CATEGORIES)
+        )
+        stats = IngestStats(keep_store=keep_store)
+        kept: list[RecordBatch] = []
+        store_bytes = 0
+        for batch in batches:
+            if not len(batch):
+                continue
+            aggregates.update(batch)
+            if keep_store:
+                kept.append(batch)
+                store_bytes += batch.nbytes
+                resident = aggregates.nbytes_estimate() + store_bytes
+            else:
+                resident = aggregates.nbytes_estimate() + batch.nbytes
+            stats.resident_series.append(resident)
+            if resident > stats.peak_resident_bytes:
+                stats.peak_resident_bytes = resident
+        stats.batches = aggregates.batches
+        stats.rows = aggregates.rows
+        stats.aggregate_bytes = aggregates.nbytes_estimate()
+        stats.store_bytes = store_bytes
+        dataset.ingest_stats = stats
+        dataset._length = aggregates.rows
+        dataset._site_rows_map = None
+        if keep_store:
+            dataset._store = RecordBatch.concat(kept)
+        else:
+            dataset.scan_aggregates = aggregates.finalize_scan_tables()
+        if aggregates.rows:
+            dataset.duration_seconds = aggregates.max_timestamp
+            dataset._sites = set(aggregates.sites.values)
+            dataset._site_extents = aggregates.extents.finalize(aggregates.sites.values)
+            dataset._deferred = aggregates.finalize_deferred()
+            dataset._object_stats_map = None
+            dataset._user_times_map = None
+            dataset._user_site_map = None
+            dataset._user_agent_map = None
         return dataset
 
     @classmethod
@@ -210,10 +292,21 @@ class TraceDataset:
         cls,
         path: str | Path,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        keep_store: bool = True,
         **reader_kwargs: object,
     ) -> "TraceDataset":
+        """Stream a trace file into a dataset.
+
+        Batches come off the reader without their per-batch record caches
+        (columns only), so with ``keep_store=False`` the file never
+        occupies more than one batch of row memory; :attr:`ingest_stats`
+        reports the fold (batches, rows, peak resident estimate).
+        """
         reader = TraceReader(path, **reader_kwargs)  # type: ignore[arg-type]
-        return cls.from_batches(reader.iter_batches(batch_size=batch_size))
+        return cls.from_batches(
+            reader.iter_batches(batch_size=batch_size, keep_records=False),
+            keep_store=keep_store,
+        )
 
     # -- scalar reference engine ----------------------------------------------
 
@@ -256,161 +349,7 @@ class TraceDataset:
         for times in self._user_times.values():
             times.sort()
 
-    # -- columnar engine ------------------------------------------------------
-
-    @staticmethod
-    def _first_appearance(codes: np.ndarray, n_slots: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """First-appearance bookkeeping for a dictionary-coded column.
-
-        Returns ``(present, order, first_rows)``: the codes present in
-        ``codes`` ascending, the same codes ordered by their first row
-        (i.e. scalar-ingest insertion order), and each present code's
-        first row aligned with ``order``.  O(n) plus a sort over the
-        (much smaller) number of distinct codes.
-        """
-        first = np.full(n_slots, codes.size, dtype=np.int64)
-        np.minimum.at(first, codes, np.arange(codes.size, dtype=np.int64))
-        present = np.flatnonzero(first < codes.size)
-        by_first_row = np.argsort(first[present], kind="stable")
-        order = present[by_first_row]
-        return present, order, first[order]
-
-    @staticmethod
-    def _segments(sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Start/stop bounds of the equal-value runs in a sorted key array."""
-        bounds = np.flatnonzero(np.diff(sorted_keys)) + 1
-        starts = np.concatenate(([0], bounds))
-        stops = np.concatenate((bounds, [sorted_keys.size]))
-        return starts, stops
-
-    def _build_indices_columnar(self) -> None:
-        store = self._store
-        assert store is not None
-        ts = store.timestamp
-        status = store.status_code
-        size = store.object_size
-        obj_codes = store.object_id.codes.astype(np.int64)
-        user_codes = store.user_id.codes.astype(np.int64)
-        site_codes = store.site.codes
-        obj_values = store.object_id.values
-        user_values = store.user_id.values
-        site_values = store.site.values
-
-        self.duration_seconds = float(ts.max())
-
-        # Per-site row index: sites are few, so one boolean scan per site
-        # beats a full argsort of the row axis.  Code order is
-        # first-appearance order (the dictionary invariant), matching the
-        # scalar engine's insertion order.
-        for code, site in enumerate(site_values):
-            rows = np.flatnonzero(site_codes == code)
-            if rows.size:
-                self._sites.add(site)
-                self._site_rows[site] = rows
-
-        # Per-object aggregates over content accesses.
-        n_obj = len(obj_values)
-        content = (status == 200) | (status == 206) | (status == 304)
-        c_obj = obj_codes[content]
-        c_ts = ts[content]
-        requests = np.bincount(c_obj, minlength=n_obj)
-        bytes_requested = np.zeros(n_obj, dtype=np.int64)
-        np.add.at(bytes_requested, c_obj, size[content])
-        cacheable = content & (status != 304)
-        hit_rows = cacheable & (store.cache_status == 1)
-        hits = np.bincount(obj_codes[hit_rows], minlength=n_obj)
-        misses = np.bincount(obj_codes[cacheable & (store.cache_status != 1)], minlength=n_obj)
-        first_seen = np.full(n_obj, np.inf)
-        last_seen = np.full(n_obj, -np.inf)
-        np.minimum.at(first_seen, c_obj, c_ts)
-        np.maximum.at(last_seen, c_obj, c_ts)
-
-        # Group-by structures for the python-object views, all computed
-        # here with numpy; the views themselves (ObjectStats instances and
-        # the per-user dicts) are materialised lazily on first access.
-        deferred: dict[str, object] = {"n_obj": n_obj}
-        obj_values_arr = np.asarray(obj_values, dtype=object)
-        site_values_arr = np.asarray(site_values, dtype=object)
-        user_values_arr = np.asarray(user_values, dtype=object)
-
-        # ObjectStats shells, in first-appearance order so dict iteration
-        # matches the scalar engine's insertion order exactly.
-        _, obj_order, obj_first_rows = self._first_appearance(obj_codes, n_obj)
-        ext_values_arr = np.asarray(store.extension.values, dtype=object)
-        deferred["obj_order"] = obj_order.tolist()
-        deferred["obj_names"] = obj_values_arr[obj_order].tolist()
-        deferred["shell_sites"] = site_values_arr[site_codes[obj_first_rows]].tolist()
-        deferred["shell_categories"] = store.category[obj_first_rows].tolist()
-        deferred["shell_extensions"] = ext_values_arr[
-            store.extension.codes[obj_first_rows]
-        ].tolist()
-        deferred["shell_sizes"] = size[obj_first_rows].tolist()
-        deferred["requests"] = requests.tolist()
-        deferred["bytes_requested"] = bytes_requested.tolist()
-        deferred["hits"] = hits.tolist()
-        deferred["misses"] = misses.tolist()
-        deferred["first_seen"] = first_seen.tolist()
-        deferred["last_seen"] = last_seen.tolist()
-
-        if c_obj.size:
-            # (object, user) request counts via a combined group-by key:
-            # unique pairs come out sorted, so each object's pairs form a
-            # contiguous segment and its dict builds with one dict() call.
-            n_user_slots = max(1, len(user_values))
-            pair = c_obj * n_user_slots + user_codes[content]
-            uniq_pair, pair_counts = np.unique(pair, return_counts=True)
-            pair_objs = uniq_pair // n_user_slots
-            seg_starts, seg_stops = self._segments(pair_objs)
-            deferred["pair_names"] = user_values_arr[uniq_pair % n_user_slots].tolist()
-            deferred["pair_counts"] = pair_counts.tolist()
-            deferred["pair_seg_codes"] = pair_objs[seg_starts].tolist()
-            deferred["pair_seg_lengths"] = (seg_stops - seg_starts).tolist()
-
-            # (object, hour) request counts, same trick.
-            hour = (c_ts // HOUR_SECONDS).astype(np.int64)
-            hour_span = int(hour.max()) + 1
-            hour_key = c_obj * hour_span + hour
-            uniq_hour, hour_counts = np.unique(hour_key, return_counts=True)
-            hour_objs = uniq_hour // hour_span
-            seg_starts, seg_stops = self._segments(hour_objs)
-            deferred["hour_bins"] = (uniq_hour % hour_span).tolist()
-            deferred["hour_counts"] = hour_counts.tolist()
-            deferred["hour_seg_codes"] = hour_objs[seg_starts].tolist()
-            deferred["hour_seg_lengths"] = (seg_stops - seg_starts).tolist()
-
-        # Per-user sorted timelines: stable lexsort (user, then timestamp)
-        # reproduces the scalar engine's stable per-user sort; each user's
-        # timeline is then a contiguous slice of the sorted timestamps.
-        # Traces are usually already time-ordered, in which case a single
-        # stable sort by user code suffices.
-        if ts.size < 2 or bool((np.diff(ts) >= 0).all()):
-            timeline_order = np.argsort(user_codes, kind="stable")
-        else:
-            timeline_order = np.lexsort((ts, user_codes))
-        sorted_users = user_codes[timeline_order]
-        user_starts, user_stops = self._segments(sorted_users)
-        present, user_order, user_first_rows = self._first_appearance(
-            user_codes, len(user_values)
-        )
-        # Segment i belongs to present[i] (both ascend by code); realign the
-        # slice bounds to first-appearance order so the dicts build in the
-        # scalar engine's insertion order.
-        positions = np.searchsorted(present, user_order)
-        deferred["sorted_ts"] = ts[timeline_order].tolist()
-        deferred["user_starts"] = user_starts[positions].tolist()
-        deferred["user_stops"] = user_stops[positions].tolist()
-        deferred["user_names"] = user_values_arr[user_order].tolist()
-        deferred["user_sites"] = site_values_arr[site_codes[user_first_rows]].tolist()
-        ua_values_arr = np.asarray(store.user_agent.values, dtype=object)
-        deferred["user_agents"] = ua_values_arr[
-            store.user_agent.codes[user_first_rows]
-        ].tolist()
-
-        self._deferred = deferred
-        self._object_stats_map = None
-        self._user_times_map = None
-        self._user_site_map = None
-        self._user_agent_map = None
+    # -- lazy materialisation of the python-object views -----------------------
 
     def _materialize_object_stats(self) -> None:
         d = self._deferred
@@ -457,14 +396,13 @@ class TraceDataset:
         d = self._deferred
         assert d is not None
         names = d["user_names"]
-        sorted_ts: list[float] = d["sorted_ts"]  # type: ignore[assignment]
+        sorted_ts = np.asarray(d["sorted_ts"], dtype=np.float64).tolist()
+        starts = np.asarray(d["user_starts"], dtype=np.int64).tolist()
+        stops = np.asarray(d["user_stops"], dtype=np.int64).tolist()
         self._user_times_map = dict(
             zip(
                 names,  # type: ignore[arg-type]
-                (
-                    sorted_ts[start:stop]
-                    for start, stop in zip(d["user_starts"], d["user_stops"])  # type: ignore[arg-type]
-                ),
+                (sorted_ts[start:stop] for start, stop in zip(starts, stops)),
             )
         )
         self._user_site_map = dict(zip(names, d["user_sites"]))  # type: ignore[arg-type]
@@ -475,23 +413,64 @@ class TraceDataset:
         if self._object_stats_map is not None and self._user_times_map is not None:
             self._deferred = None
 
+    def _materialize_site_rows(self) -> None:
+        if not self._length:
+            self._site_rows_map = {}
+            return
+        if not self.has_store:
+            raise AnalysisError(
+                "per-site row index unavailable: dataset was built with keep_store=False; "
+                "rebuild with keep_store=True for row-level access"
+            )
+        store = self.store()
+        site_codes = store.site.codes
+        mapping: dict[str, list[int] | np.ndarray] = {}
+        # Sites are few, so one boolean scan per site beats a full argsort
+        # of the row axis.  Code order is first-appearance order (the
+        # dictionary invariant), matching scalar insertion order.
+        for code, site in enumerate(store.site.values):
+            rows = np.flatnonzero(site_codes == code)
+            if rows.size:
+                mapping[site] = rows
+        self._site_rows_map = mapping
+
     # -- accessors -------------------------------------------------------------
+
+    @property
+    def has_store(self) -> bool:
+        """Whether row-level access (``records``/``store``/``site_records``)
+        is available — false only for ``keep_store=False`` datasets."""
+        return self._store is not None or self._records is not None
 
     @property
     def records(self) -> list[LogRecord]:
         """The trace as a record list, materialised lazily for batch-built
         datasets (test-scale convenience; analyses use the store)."""
         if self._records is None:
-            self._records = self._store.to_records() if self._store is not None else []
+            if self._store is None:
+                if self._length:
+                    raise AnalysisError(
+                        "records unavailable: dataset was built with keep_store=False"
+                    )
+                self._records = []
+            else:
+                self._records = self._store.to_records()
         return self._records
 
     def store(self) -> RecordBatch:
         """The trace as one columnar :class:`RecordBatch`.
 
         Built lazily (and cached) for record-built datasets, so analysis
-        passes can always scan columns.
+        passes can always scan columns.  Raises
+        :class:`~repro.errors.AnalysisError` for ``keep_store=False``
+        datasets — the rows were dropped at ingest.
         """
         if self._store is None:
+            if self._records is None and self._length:
+                raise AnalysisError(
+                    "row store unavailable: dataset was built with keep_store=False; "
+                    "rebuild with keep_store=True for row-level access"
+                )
             self._store = RecordBatch.from_records(self._records or [])
         return self._store
 
@@ -502,6 +481,14 @@ class TraceDataset:
     def sites(self) -> list[str]:
         """Sites present in the trace, sorted."""
         return sorted(self._sites)
+
+    @property
+    def site_values(self) -> list[str]:
+        """Site dictionary values in first-appearance order (the code axis
+        of the store and of the streaming scan tables)."""
+        if self.scan_aggregates is not None:
+            return self.scan_aggregates.site_values
+        return self.store().site.values
 
     @property
     def duration_hours(self) -> int:
@@ -522,6 +509,53 @@ class TraceDataset:
             return self._store.take(np.asarray(row_list, dtype=np.intp)).to_records()
         records = self.records
         return [records[row] for row in row_list]
+
+    def site_extents(self) -> dict[str, SiteExtent]:
+        """Per-site row extents (first row, last row, row count), in
+        first-appearance order.  Available on every engine, including
+        ``keep_store=False`` datasets."""
+        if self._site_extents is None:
+            self._site_extents = {
+                site: SiteExtent(first_row=int(rows[0]), last_row=int(rows[-1]), rows=len(rows))
+                for site, rows in self._site_rows.items()
+            }
+        return self._site_extents
+
+    def user_timelines(self) -> UserTimelines:
+        """Columnar per-user timelines (sorted timestamps + segment bounds
+        + per-user site/agent shells), in first-appearance order.  The
+        session/IAT/device passes run off this instead of the
+        python-object user dicts."""
+        if self._timelines is None:
+            d = self._deferred
+            if d is not None:
+                self._timelines = UserTimelines(
+                    names=list(d["user_names"]),  # type: ignore[arg-type]
+                    sites=list(d["user_sites"]),  # type: ignore[arg-type]
+                    agents=list(d["user_agents"]),  # type: ignore[arg-type]
+                    sorted_ts=np.asarray(d["sorted_ts"], dtype=np.float64),
+                    starts=np.asarray(d["user_starts"], dtype=np.int64),
+                    stops=np.asarray(d["user_stops"], dtype=np.int64),
+                )
+            else:
+                names = list(self._user_times)
+                parts = [self._user_times[name] for name in names]
+                counts = np.array([len(part) for part in parts], dtype=np.int64)
+                sorted_ts = (
+                    np.concatenate([np.asarray(part, dtype=np.float64) for part in parts])
+                    if parts
+                    else np.empty(0, dtype=np.float64)
+                )
+                stops = np.cumsum(counts)
+                self._timelines = UserTimelines(
+                    names=names,
+                    sites=[self._user_site[name] for name in names],
+                    agents=[self._user_agent[name] for name in names],
+                    sorted_ts=sorted_ts,
+                    starts=stops - counts,
+                    stops=stops,
+                )
+        return self._timelines
 
     def objects_of(
         self,
@@ -554,6 +588,11 @@ class TraceDataset:
     def user_timestamps(self, user_id: str) -> list[float]:
         """A user's request timestamps, ascending."""
         return self._user_times.get(user_id, [])
+
+    def user_site_of(self, user_id: str) -> str:
+        """The site a user belongs to (the site of their first request;
+        an empty string for unknown users)."""
+        return self._user_site.get(user_id, "")
 
     def user_agent_of(self, user_id: str) -> str:
         return self._user_agent.get(user_id, "")

@@ -24,6 +24,7 @@ from collections.abc import Sequence
 from typing import Any, Protocol, runtime_checkable
 
 from repro.core.dataset import TraceDataset
+from repro.errors import AnalysisError
 from repro.trace.batch import RecordBatch
 
 #: Rows per chunk handed to ``process``; large enough to amortise numpy
@@ -58,10 +59,28 @@ def run_passes(
     Every pass sees every row exactly once, in trace order.  Returns
     ``{pass.name: pass.finish()}``.  Passes whose ``process`` is a no-op
     ride along for free.
+
+    For datasets built with ``keep_store=False`` there are no rows to
+    scan: passes that declare ``supports_storeless = True`` (they consume
+    prebuilt indices or the dataset's streaming scan tables) run with no
+    ``process`` calls; any other pass raises
+    :class:`~repro.errors.AnalysisError` instead of silently seeing zero
+    rows.
     """
+    if len(dataset) and not dataset.has_store:
+        unsupported = [
+            analysis_pass.name
+            for analysis_pass in passes
+            if not getattr(analysis_pass, "supports_storeless", False)
+        ]
+        if unsupported:
+            raise AnalysisError(
+                f"dataset was built with keep_store=False but passes {unsupported} "
+                "need to scan the row store; rebuild with keep_store=True"
+            )
     for analysis_pass in passes:
         analysis_pass.begin(dataset)
-    if len(dataset):
+    if len(dataset) and dataset.has_store:
         store = dataset.store()
         total = len(store)
         for start in range(0, total, chunk_rows):

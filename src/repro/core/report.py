@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.core.aggregate import (
     CompositionResult,
     ContentCompositionPass,
@@ -38,17 +40,36 @@ from repro.core.content import (
 from repro.core.dataset import TraceDataset
 from repro.core.passes import run_passes
 from repro.core.users import (
+    AddictionPass,
     AddictionResult,
     IatResult,
+    InterarrivalPass,
+    RepeatedAccessPass,
+    RepeatedAccessResult,
+    SessionLengthPass,
     SessionResult,
-    addiction_cdf,
-    interarrival_times,
-    repeated_access_scatter,
-    session_lengths,
 )
 from repro.errors import EmptyDatasetError
+from repro.stats.ecdf import EmpiricalCDF
 from repro.types import ContentCategory
 from repro.workload.catalog import ContentCatalog
+
+
+def _num(value: float) -> float | str:
+    """A JSON-stable scalar: ~12 significant digits, non-finites as text."""
+    value = float(value)
+    if np.isfinite(value):
+        return float(f"{value:.12g}")
+    return repr(value)
+
+
+def _cdf_summary(cdf: EmpiricalCDF) -> dict[str, Any]:
+    return {
+        "n": len(cdf),
+        "mean": _num(cdf.mean),
+        "median": _num(cdf.median),
+        "p90": _num(cdf.quantile(0.9)),
+    }
 
 
 @dataclass
@@ -179,6 +200,108 @@ class StudyReport:
 
         return "\n".join(lines)
 
+    def to_summary_dict(self) -> dict[str, Any]:
+        """Every figure's results as one JSON-serialisable nested dict.
+
+        The golden-report regression test serialises this and diffs it
+        field-by-field, so every value is either an int, a string, or a
+        float rounded to ~12 significant digits (absorbing last-ulp
+        platform noise while still catching real analysis drift).
+        """
+        out: dict[str, Any] = {}
+        out["content_composition"] = [
+            {"site": row.site, "category": row.category.value, "objects": row.objects}
+            for row in self.content_composition.rows
+        ]
+        out["traffic_composition"] = [
+            {
+                "site": row.site,
+                "category": row.category.value,
+                "objects": row.objects,
+                "requests": row.requests,
+                "bytes": row.bytes_requested,
+            }
+            for row in self.traffic_composition.rows
+        ]
+        out["hourly_volume"] = {
+            site: {
+                "peak_hour": self.hourly_volume.peak_hour(site),
+                "diurnality": _num(self.hourly_volume.diurnality(site)),
+                "values": [_num(value) for value in series.values],
+            }
+            for site, series in self.hourly_volume.series.items()
+        }
+        out["device_composition"] = {
+            site: {device.value: count for device, count in counts.items()}
+            for site, counts in self.device_composition.counts.items()
+        }
+        for key, sizes in (("video_sizes", self.video_sizes), ("image_sizes", self.image_sizes)):
+            out[key] = {site: _cdf_summary(cdf) for site, cdf in sizes.cdfs.items()}
+        for key, pop in (
+            ("video_popularity", self.video_popularity),
+            ("image_popularity", self.image_popularity),
+        ):
+            out[key] = {
+                site: {
+                    "skewness_ratio": _num(pop.skewness_ratio(site)),
+                    "zipf": _num(pop.tail_index(site)),
+                }
+                for site in pop.cdfs
+            }
+        out["age_survival"] = {
+            site: [_num(value) for value in fractions]
+            for site, fractions in self.age_survival.fractions.items()
+        }
+        out["iat"] = {site: _cdf_summary(cdf) for site, cdf in self.iat.cdfs.items()}
+        out["sessions"] = {
+            "cdfs": {site: _cdf_summary(cdf) for site, cdf in self.sessions.cdfs.items()},
+            "counts": dict(self.sessions.counts),
+        }
+        for key, addiction in (
+            ("video_addiction", self.video_addiction),
+            ("image_addiction", self.image_addiction),
+        ):
+            out[key] = {
+                site: {"above_10": _num(addiction.fraction_above(site, 10)), **_cdf_summary(cdf)}
+                for site, cdf in addiction.cdfs.items()
+            }
+        for key, hit in (
+            ("video_hit_ratio", self.video_hit_ratio),
+            ("image_hit_ratio", self.image_hit_ratio),
+        ):
+            out[key] = {
+                site: {
+                    "overall": _num(hit.overall_hit_ratio[site]),
+                    "correlation": _num(hit.popularity_correlation[site]),
+                    "cached_fraction": _num(hit.cached_fraction[site]),
+                    "mean_object": _num(hit.cdfs[site].mean),
+                }
+                for site in hit.cdfs
+            }
+        out["response_codes"] = {
+            site: {
+                category.value: {str(code): count for code, count in sorted(counter.items())}
+                for category, counter in per_site.items()
+            }
+            for site, per_site in self.response_codes.counts.items()
+        }
+        out["clustering"] = {
+            f"{site}/{category}": {
+                label.value: _num(share) for label, share in sorted(result.fractions().items())
+            }
+            for (site, category), result in sorted(self.clustering.items())
+        }
+        out["scatter"] = {
+            name: {
+                "points": int(extra.requests.size),
+                "fraction_above_diagonal": _num(extra.fraction_above_diagonal()),
+                "max_amplification": _num(extra.max_amplification()),
+            }
+            for name, extra in sorted(self.extras.items())
+            if isinstance(extra, RepeatedAccessResult)
+        }
+        return out
+
 
 class Study:
     """Configure and run the full analysis battery.
@@ -216,6 +339,12 @@ class Study:
         dataset's prebuilt indices.
         """
         dataset.require_nonempty()
+        # Fig. 13 scatters for the paper's two showcased sites.
+        scatter_targets = [
+            (site, category)
+            for site, category in (("V-1", ContentCategory.VIDEO), ("P-1", ContentCategory.IMAGE))
+            if site in dataset.sites
+        ]
         swept = run_passes(
             dataset,
             [
@@ -224,6 +353,11 @@ class Study:
                 HourlyVolumePass(),
                 DeviceCompositionPass(),
                 ResponseCodePass(),
+                InterarrivalPass(),
+                SessionLengthPass(),
+                AddictionPass(ContentCategory.VIDEO, name="video_addiction"),
+                AddictionPass(ContentCategory.IMAGE, name="image_addiction"),
+                *(RepeatedAccessPass(site, category) for site, category in scatter_targets),
             ],
         )
         report = StudyReport(
@@ -236,10 +370,10 @@ class Study:
             video_popularity=popularity_distribution(dataset, ContentCategory.VIDEO),
             image_popularity=popularity_distribution(dataset, ContentCategory.IMAGE),
             age_survival=content_age_survival(dataset),
-            iat=interarrival_times(dataset),
-            sessions=session_lengths(dataset),
-            video_addiction=addiction_cdf(dataset, ContentCategory.VIDEO),
-            image_addiction=addiction_cdf(dataset, ContentCategory.IMAGE),
+            iat=swept["iat"],
+            sessions=swept["sessions"],
+            video_addiction=swept["video_addiction"],
+            image_addiction=swept["image_addiction"],
             video_hit_ratio=hit_ratio_analysis(dataset, ContentCategory.VIDEO),
             image_hit_ratio=hit_ratio_analysis(dataset, ContentCategory.IMAGE),
             response_codes=swept["response_codes"],
@@ -260,8 +394,6 @@ class Study:
                 except EmptyDatasetError:
                     continue
                 report.clustering[(site, category.value)] = result
-        # Fig. 13 scatters for the paper's two showcased sites.
-        for site, category in (("V-1", ContentCategory.VIDEO), ("P-1", ContentCategory.IMAGE)):
-            if site in dataset.sites:
-                report.extras[f"scatter:{site}"] = repeated_access_scatter(dataset, site, category)
+        for site, _category in scatter_targets:
+            report.extras[f"scatter:{site}"] = swept[f"scatter:{site}"]
         return report

@@ -54,6 +54,7 @@ def run_pipeline(
     scale: ScaleConfig | None = None,
     profiles: tuple[SiteProfile, ...] | None = None,
     sim_config: SimulationConfig | None = None,
+    keep_store: bool = True,
 ) -> PipelineResult:
     """Generate a synthetic week of adult-CDN traffic and index it.
 
@@ -62,7 +63,9 @@ def run_pipeline(
     ``sim_config`` pins a capacity, each data center's edge cache is sized
     to a fraction of the generated catalog and pre-warmed with popular
     pre-existing objects (a real CDN is never cold when a measurement week
-    starts).
+    starts).  ``keep_store=False`` streams the simulated batches through
+    the accumulator ingest and keeps only aggregates (``result.batches``
+    is then empty and ``result.records`` unavailable).
     """
     profiles = profiles if profiles is not None else ALL_PROFILES()
     scale = scale or ScaleConfig.small()
@@ -76,8 +79,15 @@ def run_pipeline(
     simulator = CdnSimulator(profiles=profiles, config=sim_config)
     if sim_config.warm_caches:
         simulator.warm(w.catalog for w in workloads.values())
-    batches = list(simulator.run_batches(generator.merged_request_batches(workloads)))
-    dataset = TraceDataset.from_batches(batches)
+    batch_stream = simulator.run_batches(generator.merged_request_batches(workloads))
+    if keep_store:
+        batches = list(batch_stream)
+        dataset = TraceDataset.from_batches(batches)
+    else:
+        batches = []
+        dataset = TraceDataset.from_batches(
+            (batch.drop_records() for batch in batch_stream), keep_store=False
+        )
     return PipelineResult(workloads=workloads, batches=batches, dataset=dataset, simulator=simulator)
 
 

@@ -85,14 +85,19 @@ class TraceReader:
         for batch in self.iter_batches():
             yield from batch.iter_records()
 
-    def iter_batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[RecordBatch]:
+    def iter_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE, keep_records: bool = True
+    ) -> Iterator[RecordBatch]:
         """Stream the trace as columnar :class:`RecordBatch` blocks.
 
         Filters apply record-wise before batching, so batches contain only
-        matching rows.  On a truncated or corrupt file, any complete
-        records parsed before the error are flushed as a final partial
-        batch *before* the :class:`TraceError` propagates — callers see
-        every good record, then the failure.
+        matching rows.  ``keep_records=False`` drops each batch's cached
+        :class:`LogRecord` objects (columns only) — the streaming-ingest
+        mode, where per-batch python objects would dominate the memory the
+        stream exists to bound.  On a truncated or corrupt file, any
+        complete records parsed before the error are flushed as a final
+        partial batch *before* the :class:`TraceError` propagates —
+        callers see every good record, then the failure.
         """
         raw: Iterator[LogRecord]
         if self.fmt == "csv":
@@ -101,20 +106,25 @@ class TraceReader:
             raw = self._iter_jsonl()
         else:
             raw = self._iter_binary()
+
+        def flush(builder: BatchBuilder) -> RecordBatch:
+            batch = builder.finish()
+            return batch if keep_records else batch.drop_records()
+
         builder = BatchBuilder()
         try:
             for record in raw:
                 if self._matches(record):
                     builder.append(record)
                     if len(builder) >= batch_size:
-                        yield builder.finish()
+                        yield flush(builder)
                         builder = BatchBuilder()
         except TraceError:
             if len(builder):
-                yield builder.finish()
+                yield flush(builder)
             raise
         if len(builder):
-            yield builder.finish()
+            yield flush(builder)
 
     def _matches(self, record: LogRecord) -> bool:
         if self.sites is not None and record.site not in self.sites:

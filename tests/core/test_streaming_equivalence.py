@@ -1,0 +1,139 @@
+"""Three-engine equivalence: record == eager batches == streaming.
+
+The streaming accumulators of :mod:`repro.core.accumulate` promise that
+folding a trace batch-by-batch — at *any* batch size, with or without
+retaining the row store — produces the same aggregates a single-scan
+build does, bit for bit.  This suite pins that promise end to end: an
+arbitrary record list, chunked at an arbitrary batch size (including 1
+and sizes larger than the trace), must yield an identical
+``Study.run`` report from
+
+* ``TraceDataset.from_records(..., engine="record")`` — the scalar
+  reference loop,
+* ``TraceDataset.from_batches(batches)`` — eager, store-retaining, and
+* ``TraceDataset.from_batches(batches, keep_store=False)`` — streaming,
+  aggregates only.
+
+When an engine legitimately refuses (e.g. ``EmptyDatasetError`` on a
+trace with no content responses), all three must refuse identically.
+On failure, hypothesis shrinks to and prints the minimal failing trace
+via ``note``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, note, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import TraceDataset
+from repro.core.report import Study
+from repro.errors import AnalysisError, EmptyDatasetError
+from repro.trace.batch import iter_record_batches
+
+from tests.trace.test_io import record_strategy, sample_records
+
+record_lists = st.lists(record_strategy, max_size=40)
+batch_sizes = st.integers(min_value=1, max_value=64)
+
+
+def _chunk(records, batch_size):
+    batches = list(iter_record_batches(iter(records), batch_size=batch_size))
+    for batch in batches:
+        batch.drop_records()
+    return batches
+
+
+def _study_outcome(dataset):
+    """The full figure battery as comparable data, or the refusal.
+
+    Returns ``("report", render_text, summary_dict)`` on success and
+    ``("error", type_name, message)`` when the study refuses — either
+    way a value two engines can be compared on with plain ``==``.
+    """
+    study = Study(run_clustering=False)
+    try:
+        report = study.run(dataset)
+    except EmptyDatasetError as error:
+        return ("error", type(error).__name__, str(error))
+    return ("report", report.render_text(), report.to_summary_dict())
+
+
+class TestThreeEngineEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(records=record_lists, batch_size=batch_sizes)
+    def test_reports_identical_across_engines(self, records, batch_size):
+        note(f"batch_size={batch_size}")
+        note(f"records={records!r}")
+        reference = _study_outcome(TraceDataset.from_records(records, engine="record"))
+        eager = _study_outcome(TraceDataset.from_batches(_chunk(records, batch_size)))
+        streaming = _study_outcome(
+            TraceDataset.from_batches(_chunk(records, batch_size), keep_store=False)
+        )
+        assert eager == reference
+        assert streaming == reference
+
+    def test_batch_size_one(self):
+        records = sample_records(7)
+        reference = _study_outcome(TraceDataset.from_records(records, engine="record"))
+        streaming = _study_outcome(
+            TraceDataset.from_batches(_chunk(records, 1), keep_store=False)
+        )
+        assert streaming == reference
+
+    def test_batch_size_larger_than_trace(self):
+        records = sample_records(5)
+        reference = _study_outcome(TraceDataset.from_records(records, engine="record"))
+        streaming = _study_outcome(
+            TraceDataset.from_batches(_chunk(records, 512), keep_store=False)
+        )
+        assert streaming == reference
+
+    def test_empty_trace_refused_identically(self):
+        assert (
+            _study_outcome(TraceDataset.from_records([], engine="record"))
+            == _study_outcome(TraceDataset.from_batches([]))
+            == _study_outcome(TraceDataset.from_batches([], keep_store=False))
+        )
+
+
+class TestStorelessDataset:
+    """Contract of a ``keep_store=False`` dataset beyond report equality."""
+
+    @pytest.fixture()
+    def streaming(self):
+        return TraceDataset.from_batches(_chunk(sample_records(9), 3), keep_store=False)
+
+    def test_row_access_raises(self, streaming):
+        assert not streaming.has_store
+        with pytest.raises(AnalysisError):
+            streaming.records
+        with pytest.raises(AnalysisError):
+            streaming.store()
+
+    def test_ingest_stats_recorded(self, streaming):
+        stats = streaming.ingest_stats
+        assert stats is not None
+        assert stats.batches == 3
+        assert stats.rows == 9
+        assert not stats.keep_store
+        assert len(stats.resident_series) == 3
+        assert stats.peak_resident_bytes == max(stats.resident_series)
+
+    def test_pass_without_storeless_support_rejected(self, streaming):
+        from repro.core.passes import run_passes
+
+        class RowScanPass:
+            name = "row_scan"
+
+            def begin(self, dataset):
+                pass
+
+            def process(self, chunk):
+                pass
+
+            def finish(self):
+                return None
+
+        with pytest.raises(AnalysisError, match="row_scan"):
+            run_passes(streaming, [RowScanPass()])

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.users import (
@@ -141,3 +142,68 @@ class TestAddiction:
         result = addiction_cdf(dataset, ContentCategory.VIDEO)
         for cdf in result.cdfs.values():
             assert cdf.min >= 1
+
+
+class TestUserSiteAccessor:
+    """Fig. 11's per-site grouping goes through the public
+    :meth:`TraceDataset.user_site_of` accessor — pinned here on a user
+    whose two requests open and close their site's entire time window."""
+
+    @staticmethod
+    def _records():
+        from repro.trace.record import LogRecord
+        from repro.types import CacheStatus
+
+        def record(ts, user, obj="clip"):
+            return LogRecord(
+                timestamp=ts,
+                site="V-1",
+                object_id=obj,
+                extension="mp4",
+                object_size=1000,
+                user_id=user,
+                user_agent="UA",
+                cache_status=CacheStatus.HIT,
+                status_code=200,
+                bytes_served=500,
+            )
+
+        # "spanner" makes the site's first AND last request; everyone
+        # else is strictly inside the window.
+        return [
+            record(0.0, "spanner"),
+            record(100.0, "mid-1"),
+            record(250.0, "mid-1"),
+            record(400.0, "mid-2"),
+            record(1000.0, "spanner"),
+        ]
+
+    @pytest.fixture(params=["record", "batch", "streaming"])
+    def spanning_dataset(self, request):
+        from repro.core.dataset import TraceDataset
+        from repro.trace.batch import iter_record_batches
+
+        records = self._records()
+        if request.param == "record":
+            return TraceDataset.from_records(records, engine="record")
+        batches = [
+            b.drop_records() for b in iter_record_batches(iter(records), batch_size=2)
+        ]
+        return TraceDataset.from_batches(batches, keep_store=request.param == "batch")
+
+    def test_user_site_of(self, spanning_dataset):
+        assert spanning_dataset.user_site_of("spanner") == "V-1"
+        assert spanning_dataset.user_site_of("mid-1") == "V-1"
+        assert spanning_dataset.user_site_of("no-such-user") == ""
+
+    def test_spanning_user_window_and_iat(self, spanning_dataset):
+        # The user's requests really do span the site's full window ...
+        times = spanning_dataset.user_timestamps("spanner")
+        assert times[0] == 0.0
+        assert times[-1] == spanning_dataset.duration_seconds == 1000.0
+        # ... and the public-accessor path attributes every gap to the
+        # right site: spanner's 1000 s window-spanning gap and mid-1's
+        # 150 s gap, nothing else.
+        result = interarrival_times(spanning_dataset)
+        assert set(result.cdfs) == {"V-1"}
+        assert sorted(np.asarray(result.cdfs["V-1"].sample).tolist()) == [150.0, 1000.0]

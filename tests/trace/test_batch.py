@@ -252,6 +252,83 @@ class TestBatchIO:
         assert seen == records
 
 
+class TestStreamingKillPoints:
+    """Mid-batch kill-point fuzz for the streaming (``keep_records=False``)
+    reader path: for *every* byte at which a binary trace can be cut, the
+    complete records parsed before the cut must be flushed (as record-free
+    column batches), and the :class:`TraceTruncationError` must name the
+    byte offset of the first incomplete record."""
+
+    @staticmethod
+    def _binary_trace(records):
+        header = schema.BINARY_MAGIC + struct.pack("<H", schema.BINARY_VERSION)
+        packed = [schema.pack_record(r) for r in records]
+        boundaries = [len(header)]
+        for blob in packed:
+            boundaries.append(boundaries[-1] + len(blob))
+        return header + b"".join(packed), boundaries
+
+    @staticmethod
+    def _stream(path):
+        """Consume the streaming reader, returning records decoded purely
+        from columns (every flushed batch must already be record-free)."""
+        seen: list[LogRecord] = []
+        for batch in TraceReader(path).iter_batches(batch_size=3, keep_records=False):
+            assert batch._records is None
+            seen.extend(batch.to_records())
+        return seen
+
+    def test_every_kill_point_flushes_then_reports_offset(self, tmp_path):
+        import bisect
+
+        records = varied_records(8)
+        blob, boundaries = self._binary_trace(records)
+        path = tmp_path / "t.bin"
+        for cut in range(boundaries[0], len(blob)):
+            path.write_bytes(blob[:cut])
+            n_complete = bisect.bisect_right(boundaries, cut) - 1
+            if cut in boundaries:
+                # Cut on a record boundary: clean EOF, no error.
+                assert self._stream(path) == records[:n_complete]
+                continue
+            seen: list[LogRecord] = []
+            with pytest.raises(TraceTruncationError) as error:
+                for batch in TraceReader(path).iter_batches(batch_size=3, keep_records=False):
+                    seen.extend(batch.to_records())
+            # Every complete record before the cut was flushed first ...
+            assert seen == records[:n_complete]
+            # ... and the error names the incomplete record's byte offset.
+            assert f"at byte {boundaries[n_complete]}" in str(error.value)
+            assert f"({cut - boundaries[n_complete]} trailing bytes)" in str(error.value)
+
+    def test_corrupt_record_mid_batch_names_offset(self, tmp_path):
+        records = varied_records(9)
+        blob, boundaries = self._binary_trace(records)
+        corrupt_index = 5
+        mangled = bytearray(blob)
+        # Invalid UTF-8 inside record 5's site string.
+        mangled[boundaries[corrupt_index] + schema._FIXED.size + 2] = 0xFF
+        path = tmp_path / "t.bin"
+        path.write_bytes(bytes(mangled))
+        seen: list[LogRecord] = []
+        with pytest.raises(TraceFormatError) as error:
+            for batch in TraceReader(path).iter_batches(batch_size=4, keep_records=False):
+                seen.extend(batch.to_records())
+        assert seen == records[:corrupt_index]
+        assert f"corrupt record at byte {boundaries[corrupt_index]}" in str(error.value)
+
+    def test_from_file_streaming_propagates_truncation(self, tmp_path):
+        from repro.core.dataset import TraceDataset
+
+        records = varied_records(10)
+        blob, boundaries = self._binary_trace(records)
+        path = tmp_path / "t.bin"
+        path.write_bytes(blob[: boundaries[7] + 5])  # mid-record 7
+        with pytest.raises(TraceTruncationError) as error:
+            TraceDataset.from_file(path, batch_size=4, keep_store=False)
+        assert f"at byte {boundaries[7]}" in str(error.value)
+
+
 class TestBatchBuilder:
     def test_interning_reuses_codes(self):
         builder = BatchBuilder()
