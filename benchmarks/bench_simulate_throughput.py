@@ -1,0 +1,134 @@
+"""Simulate throughput: sharded parallel serving vs the sequential loop.
+
+Times :meth:`~repro.cdn.simulator.CdnSimulator.run_batches` over the
+standard benchmark workload at ``workers=1`` and ``workers=4`` and proves
+the parallel path changes *nothing* about the output: every
+:class:`~repro.trace.record.LogRecord` field matches the sequential run,
+in the same global order, and the merged ``SimulationMetrics`` /
+``CacheStats`` match exactly.
+
+Records/sec, per-shard wall time / queue depth, the measured speedup and
+the *ideal* speedup (total shard busy time over the busiest shard — the
+parallelism the queue balance offers a machine with enough cores) all
+land in ``BENCH_results.json`` via :func:`conftest.record_extra`, along
+with ``cpu_count`` so the measured speedup is interpretable: on a
+single-core container the parallel run cannot beat the sequential one no
+matter how clean the shard split is.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import BENCH_SEED, print_header, record_extra
+
+from repro.cdn.simulator import CdnSimulator, SimulationConfig
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import ALL_PROFILES
+from repro.workload.scale import ScaleConfig
+
+PARALLEL_WORKERS = 4
+
+
+def _fresh_simulator(profiles, catalogs, capacity: int) -> CdnSimulator:
+    config = SimulationConfig(seed=BENCH_SEED + 1, cache_capacity_bytes=capacity)
+    simulator = CdnSimulator(profiles=profiles, config=config)
+    simulator.warm(catalogs)
+    return simulator
+
+
+def _timed_run(simulator: CdnSimulator, requests, workers: int):
+    start = time.perf_counter()
+    batches = list(simulator.run_batches(iter(requests), workers=workers))
+    seconds = time.perf_counter() - start
+    records = [record for batch in batches for record in batch.iter_records()]
+    return seconds, records
+
+
+def test_simulate_throughput(benchmark):
+    profiles = ALL_PROFILES()
+    scale = ScaleConfig.from_env(default="small")
+    generator = WorkloadGenerator(profiles=profiles, scale=scale, seed=BENCH_SEED)
+    workloads = generator.generate_all()
+    catalogs = [w.catalog for w in workloads.values()]
+    capacity = max(200_000_000, int(0.5 * sum(c.total_bytes() for c in catalogs)))
+    requests = list(generator.merged_requests(workloads))
+
+    runs: dict[str, tuple] = {}
+
+    def sweep():
+        seq_sim = _fresh_simulator(profiles, catalogs, capacity)
+        runs["sequential"] = _timed_run(seq_sim, requests, workers=1), seq_sim
+        par_sim = _fresh_simulator(profiles, catalogs, capacity)
+        runs["parallel"] = _timed_run(par_sim, requests, workers=PARALLEL_WORKERS), par_sim
+        return runs
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    (seq_seconds, seq_records), seq_sim = runs["sequential"]
+    (par_seconds, par_records), par_sim = runs["parallel"]
+    total = len(seq_records)
+
+    # The whole point: parallel output is bit-identical to sequential.
+    assert par_records == seq_records
+    assert par_sim.metrics == seq_sim.metrics
+    assert par_sim.cache_stats() == seq_sim.cache_stats()
+
+    seq_stats, par_stats = seq_sim.sim_stats, par_sim.sim_stats
+    assert seq_stats is not None and par_stats is not None
+    assert seq_stats.records == par_stats.records == total
+    speedup = seq_seconds / par_seconds
+    cpu_count = os.cpu_count() or 1
+
+    print_header(
+        "Simulate throughput — sharded parallel vs sequential serve loop",
+        "shard-parallel simulation is bit-identical and scales with cores",
+    )
+    print(f"  workload: {len(requests)} requests -> {total} records")
+    print(f"  sequential:        {seq_seconds:8.2f}s  {total / seq_seconds:10,.0f} records/s")
+    print(
+        f"  workers={PARALLEL_WORKERS}:         {par_seconds:8.2f}s  "
+        f"{total / par_seconds:10,.0f} records/s"
+    )
+    print(f"  measured speedup:  {speedup:.2f}x on {cpu_count} cpu core(s)")
+    print(f"  ideal speedup:     {par_stats.ideal_speedup:.2f}x (shard balance bound)")
+    for shard in par_stats.shards:
+        if shard.queue_depth:
+            print(
+                f"    shard {shard.shard_id}: queue {shard.queue_depth}, "
+                f"{shard.records} records, {shard.wall_seconds:.2f}s busy"
+            )
+
+    record_extra(
+        "simulate_throughput",
+        simulate={
+            "requests": len(requests),
+            "records": total,
+            "workers": PARALLEL_WORKERS,
+            "cpu_count": cpu_count,
+            "sequential_seconds": round(seq_seconds, 6),
+            "parallel_seconds": round(par_seconds, 6),
+            "sequential_records_per_s": round(total / seq_seconds, 1),
+            "parallel_records_per_s": round(total / par_seconds, 1),
+            "speedup": round(speedup, 3),
+            "ideal_speedup": round(par_stats.ideal_speedup, 3),
+            "parallel_matches_sequential": par_records == seq_records,
+            "shards": [
+                {
+                    "shard": shard.shard_id,
+                    "queue_depth": shard.queue_depth,
+                    "records": shard.records,
+                    "wall_seconds": round(shard.wall_seconds, 6),
+                }
+                for shard in par_stats.shards
+            ],
+        },
+    )
+
+    # The shard split must expose real parallelism regardless of how many
+    # cores this machine has; the measured speedup bar only applies where
+    # the cores exist to realise it (single-core CI boxes cannot 2x).
+    assert par_stats.ideal_speedup >= 2.0
+    if cpu_count >= PARALLEL_WORKERS:
+        assert speedup >= 2.0

@@ -58,6 +58,12 @@ class BrowserCache:
     def used_bytes(self) -> int:
         return self._used
 
+    @property
+    def last_request_at(self) -> float | None:
+        """Timestamp of the user's latest request; the simulator's
+        ``max_tracked_browsers`` cap evicts the least recently active."""
+        return self._last_request_at
+
     def observe_request_time(self, now: float) -> None:
         """Advance the user's clock; incognito caches clear between sessions."""
         if (

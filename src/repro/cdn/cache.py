@@ -73,6 +73,20 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Fold another cache's counters into this one (all plain sums)."""
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.misses += other.misses
+        self.insertions += other.insertions
+        self.evictions += other.evictions
+        self.expirations += other.expirations
+        self.revalidations += other.revalidations
+        self.uncacheable += other.uncacheable
+        self.bytes_served_from_cache += other.bytes_served_from_cache
+        self.bytes_fetched_from_origin += other.bytes_fetched_from_origin
+        return self
+
 
 class EvictionPolicy(abc.ABC):
     """Replacement policy: tracks key metadata and picks eviction victims.
@@ -147,6 +161,10 @@ class Cache:
     def peek(self, key: str) -> CacheEntry | None:
         """Entry for ``key`` without touching stats or recency."""
         return self._entries.get(key)
+
+    def keys(self) -> list[str]:
+        """Snapshot of the stored keys (no stats or recency effects)."""
+        return list(self._entries)
 
     # -- operations ----------------------------------------------------------
 

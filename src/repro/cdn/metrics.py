@@ -38,12 +38,25 @@ class SiteMetrics:
             return 0.0
         return self.latency_ms_total / self.requests
 
+    def merge(self, other: "SiteMetrics") -> "SiteMetrics":
+        """Fold another site's counters into this one (commutative sums)."""
+        self.requests += other.requests
+        self.hits += other.hits
+        self.bytes_served += other.bytes_served
+        self.bytes_from_origin += other.bytes_from_origin
+        self.latency_ms_total += other.latency_ms_total
+        self.status_codes.update(other.status_codes)
+        self.category_requests.update(other.category_requests)
+        return self
+
 
 @dataclass
 class SimulationMetrics:
     """Aggregated counters for a whole simulation run."""
 
     sites: dict[str, SiteMetrics] = field(default_factory=dict)
+    #: Browser caches dropped by the ``max_tracked_browsers`` LRU cap.
+    evicted_browsers: int = 0
 
     def record(
         self,
@@ -88,3 +101,16 @@ class SimulationMetrics:
         for metrics in self.sites.values():
             totals.update(metrics.status_codes)
         return totals
+
+    def merge(self, other: "SimulationMetrics") -> "SimulationMetrics":
+        """Fold another run's (or shard's) metrics into this one.
+
+        Every counter is a plain sum, so merging per-shard metrics in a
+        fixed shard order reproduces a sequential run's aggregates exactly
+        — including the float latency totals, because the sequential path
+        accumulates per shard and merges in the same order.
+        """
+        for site, metrics in other.sites.items():
+            self.sites.setdefault(site, SiteMetrics()).merge(metrics)
+        self.evicted_browsers += other.evicted_browsers
+        return self

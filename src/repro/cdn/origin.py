@@ -13,11 +13,13 @@ behaviours that produce the paper's non-200 response codes (Fig. 16):
 
 from __future__ import annotations
 
+import bisect
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.stats.sampling import make_rng
+from repro.stats.sampling import counter_rng, make_rng
 from repro.workload.catalog import ContentObject
 
 
@@ -42,6 +44,11 @@ class OriginServer:
         Expected per-object probability of content being re-encoded or
         replaced per day, which bumps the version and invalidates
         conditional requests.
+    seed:
+        Keys the per-object mutation schedules.  Two origins built with
+        the same seed agree on every object's version at every instant,
+        regardless of which objects they were asked about first — the
+        property that lets each simulation shard carry its own origin.
     """
 
     def __init__(
@@ -49,6 +56,7 @@ class OriginServer:
         forbidden_rate: float = 0.015,
         mutation_rate_per_day: float = 0.02,
         rng: np.random.Generator | int | None = None,
+        seed: int = 0,
     ):
         if not 0.0 <= forbidden_rate < 1.0:
             raise ValueError(f"forbidden_rate must be in [0, 1), got {forbidden_rate}")
@@ -56,27 +64,45 @@ class OriginServer:
             raise ValueError("mutation_rate_per_day must be non-negative")
         self.forbidden_rate = forbidden_rate
         self.mutation_rate_per_day = mutation_rate_per_day
+        self.seed = seed
         self._rng = make_rng(rng)
-        self._versions: dict[str, int] = {}
-        self._last_checked: dict[str, float] = {}
+        #: Per-object mutation event times, extended lazily as the clock
+        #: advances: object_id -> (stream, sorted absolute event times,
+        #: schedule start).  The last stored time always lies beyond the
+        #: latest query, so earlier entries are final.
+        self._schedules: dict[str, tuple[np.random.Generator, list[float]]] = {}
         self.fetches = 0
         self.bytes_served = 0
 
     def current_version(self, obj: ContentObject, now: float) -> int:
         """Object version at time ``now`` (Poisson mutation process).
 
-        Versions advance lazily: on each call, mutations since the last
-        check are sampled from the configured daily rate.
+        The mutation events of each object form a fixed schedule drawn
+        from a counter-based stream keyed on ``(seed, object_id)`` — a
+        pure function of the object, not of query order.  The version is
+        simply one plus the number of events at or before ``now``, so it
+        is monotone in ``now`` and identical across origin replicas.
         """
-        version = self._versions.get(obj.object_id, 1)
-        last = self._last_checked.get(obj.object_id, max(obj.birth_time, 0.0))
-        elapsed_days = max(0.0, (now - last) / 86_400.0)
-        if elapsed_days > 0 and self.mutation_rate_per_day > 0:
-            bumps = int(self._rng.poisson(self.mutation_rate_per_day * elapsed_days))
-            version += bumps
-        self._versions[obj.object_id] = version
-        self._last_checked[obj.object_id] = max(last, now)
-        return version
+        if self.mutation_rate_per_day <= 0:
+            return 1
+        start = max(obj.birth_time, 0.0)
+        if now <= start:
+            return 1
+        times = self._mutation_times(obj.object_id, start, now)
+        return 1 + bisect.bisect_right(times, now)
+
+    def _mutation_times(self, object_id: str, start: float, now: float) -> list[float]:
+        """Mutation event times for ``object_id`` covering up to ``now``."""
+        mean_gap = 86_400.0 / self.mutation_rate_per_day
+        state = self._schedules.get(object_id)
+        if state is None:
+            stream = counter_rng(self.seed, "origin-mutation", zlib.crc32(object_id.encode("utf-8")))
+            state = (stream, [start + float(stream.exponential(mean_gap))])
+            self._schedules[object_id] = state
+        stream, times = state
+        while times[-1] <= now:
+            times.append(times[-1] + float(stream.exponential(mean_gap)))
+        return times
 
     def is_published(self, obj: ContentObject, now: float) -> bool:
         return now >= obj.birth_time

@@ -85,6 +85,17 @@ class IspProxyLayer:
     def stats(self, continent: Continent) -> CacheStats:
         return self.caches[continent].stats
 
+    def merge(self, other: "IspProxyLayer") -> "IspProxyLayer":
+        """Fold another layer's per-continent counters into this one.
+
+        Used by the sharded simulator: each shard runs its own proxy
+        layer (a continent's users all live in one shard, so the caches
+        never overlap) and the parent merges the counters for reporting.
+        """
+        for continent, cache in other.caches.items():
+            self.caches[continent].stats.merge(cache.stats)
+        return self
+
     @property
     def total_hits(self) -> int:
         return sum(cache.stats.hits for cache in self.caches.values())

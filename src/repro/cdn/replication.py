@@ -34,6 +34,19 @@ class PushStats:
     chunks_pushed: int = 0
     bytes_pushed: int = 0
 
+    def merge(self, other: "PushStats") -> "PushStats":
+        """Fold stats from a replica of the *same* push plan.
+
+        Per-shard replicators execute one shared plan against disjoint
+        edge sets, so chunk and byte counts add up while the number of
+        distinct objects pushed is the furthest cursor — the same totals
+        one replicator pushing to every edge would report.
+        """
+        self.objects_pushed = max(self.objects_pushed, other.objects_pushed)
+        self.chunks_pushed += other.chunks_pushed
+        self.bytes_pushed += other.bytes_pushed
+        return self
+
 
 @dataclass
 class PushReplicator:
@@ -81,6 +94,18 @@ class PushReplicator:
         self._plan = selected
         self._cursor = 0
         return len(self._plan)
+
+    def fork(self) -> "PushReplicator":
+        """A replica sharing this plan with its own cursor and stats.
+
+        Each simulation shard advances its replica on its *own* request
+        clock; because a push lands between the same two local requests
+        either way, the edge-cache operation order a shard observes is
+        identical to a single replicator driven by the global clock.
+        """
+        replica = PushReplicator(popularity_quantile=self.popularity_quantile, trends=self.trends)
+        replica._plan = self._plan
+        return replica
 
     @property
     def planned(self) -> int:

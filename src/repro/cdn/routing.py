@@ -8,10 +8,25 @@ user's continent to a data center; ties break deterministically by id.
 
 from __future__ import annotations
 
+import zlib
+
 from repro.cdn.geo import DataCenter, Topology, latency_ms
 from repro.errors import RoutingError
 from repro.types import Continent
 from repro.workload.population import User
+
+
+def user_partition(user_id: str, partitions: int) -> int:
+    """Stable cache-partition index of a user within their data center.
+
+    CRC32-based (not the per-process-salted ``hash``) so the mapping is
+    identical across worker processes and runs — the simulator shards a
+    data center's users into ``partitions`` independent cache partitions
+    the way CDN PoPs consistent-hash clients across cache nodes.
+    """
+    if partitions <= 1:
+        return 0
+    return zlib.crc32(user_id.encode("utf-8")) % partitions
 
 
 class Router:
@@ -64,6 +79,15 @@ class Router:
     def route(self, user: User) -> DataCenter:
         """The data center serving ``user``."""
         return self._by_continent[user.continent]
+
+    def shard_for(self, user: User, shards_per_dc: int = 1) -> tuple[str, int]:
+        """The simulation shard serving ``user``: (dc_id, partition).
+
+        A user routes to exactly one data center and, within it, to one
+        stable cache partition — the property the sharded simulator
+        exploits to run shards in parallel without sharing state.
+        """
+        return self.route(user).dc_id, user_partition(user.user_id, shards_per_dc)
 
     def route_continent(self, continent: Continent) -> DataCenter:
         """The data center serving users on ``continent``."""

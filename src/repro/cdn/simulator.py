@@ -14,35 +14,64 @@ For each workload :class:`~repro.workload.generator.Request` the simulator
    publisher, hashed URL, file type, size, user agent, anonymised user id,
    cache status, status code, and bytes served — exactly the schema the
    paper's dataset has (Section III).
+
+Sharding and determinism
+------------------------
+A user routes to exactly one data center and owns their own browser
+cache, so the simulation state factors into independent *shards*, one per
+``(data center, cache partition)``.  Every stochastic draw comes from a
+counter-based stream keyed on the request (or object) itself rather than
+from one sequential generator, so a request's outcome is independent of
+execution order.  :meth:`CdnSimulator.run_batches` exploits both
+properties: with ``workers > 1`` (or ``REPRO_SIM_WORKERS`` set) each
+shard's request queue is served in its own process and the per-shard
+record streams are k-way merged back into the exact sequential order by
+``request_id`` — bit-identical output, mergeable metrics, and a
+:class:`SimStats` record proving where the time went.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+import os
+import time
+import zlib
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.cdn.browser import BrowserCache
-from repro.cdn.cache import Cache
+from repro.cdn.cache import Cache, CacheStats
 from repro.cdn.chunking import Chunker
-from repro.cdn.geo import Topology, default_datacenters, latency_ms
+from repro.cdn.geo import DataCenter, Topology, default_datacenters, latency_ms
 from repro.cdn.http import ClientIntent, ClientModel, decide_response
 from repro.cdn.metrics import SimulationMetrics
 from repro.cdn.origin import OriginServer
 from repro.cdn.playback import PlaybackModel
 from repro.cdn.policies import make_policy
 from repro.cdn.proxy import IspProxyLayer, ProxyConfig
-from repro.cdn.replication import PushReplicator
+from repro.cdn.replication import PushReplicator, PushStats
 from repro.cdn.routing import Router
 from repro.cdn.server import EdgeServer
-from repro.stats.sampling import make_rng
+from repro.stats.sampling import counter_rng
 from repro.trace.anonymize import Anonymizer
-from repro.trace.batch import DEFAULT_BATCH_SIZE, RecordBatch, iter_record_batches
+from repro.trace.batch import (
+    BatchBuilder,
+    DEFAULT_BATCH_SIZE,
+    RecordBatch,
+    iter_record_batches,
+)
 from repro.trace.record import LogRecord
 from repro.types import CacheStatus, Continent, ContentCategory
 from repro.workload.generator import Request
 from repro.workload.profiles import SiteProfile
+
+#: Environment variable supplying the default worker count for
+#: :meth:`CdnSimulator.run_batches` (mirrors ``REPRO_DTW_WORKERS``).
+WORKERS_ENV = "REPRO_SIM_WORKERS"
 
 
 def _flatten_requests(
@@ -116,238 +145,155 @@ class SimulationConfig:
     playback_mode: bool = False
     #: Master seed for the simulator's own randomness.
     seed: int = 7
+    #: Independent cache partitions per data center.  Users are
+    #: consistent-hashed onto partitions (the way CDN PoPs spread clients
+    #: across cache nodes), each owning ``1/shards_per_dc`` of the DC's
+    #: capacity.  Values above 1 change the simulated cache behaviour
+    #: (deliberately — it *is* a different CDN design) but apply
+    #: identically to the sequential and parallel execution paths, and
+    #: raise the available parallelism beyond the number of DCs.
+    shards_per_dc: int = 1
+    #: Cap on concurrently tracked per-user browser caches per shard; the
+    #: least recently active browser is evicted past it (counted in
+    #: ``SimulationMetrics.evicted_browsers``).  None = unbounded.
+    max_tracked_browsers: int | None = None
     #: Per-site cache admission probability multiplier; defaults to each
     #: profile's ``cache_priority`` when profiles are supplied.
     cache_priority: dict[str, float] = field(default_factory=dict)
 
 
-class CdnSimulator:
-    """Simulate a CDN serving a stream of workload requests.
+@dataclass(frozen=True, slots=True)
+class ShardStats:
+    """What one simulation shard did during a :meth:`~CdnSimulator.run_batches` call."""
 
-    Parameters
-    ----------
-    profiles:
-        Site profiles (used for per-site cache priority); optional.
-    topology:
-        Data centers; defaults to one per continent.
-    config:
-        Simulation tunables.
+    shard_id: str
+    #: Requests queued to (and served by) the shard.
+    queue_depth: int
+    #: Log records the shard emitted.
+    records: int
+    #: Time spent serving the shard's queue (its own process's clock when
+    #: parallel; accumulated dispatch time when sequential).
+    wall_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class SimStats:
+    """Execution statistics of one :meth:`~CdnSimulator.run_batches` call.
+
+    The simulate-stage sibling of ``DtwStats`` / ``IngestStats``: how many
+    workers ran, end-to-end wall time, per-shard busy time and queue
+    depth, and the resulting throughput.
+    """
+
+    workers: int
+    requests: int
+    records: int
+    wall_seconds: float
+    shards: tuple[ShardStats, ...]
+
+    @property
+    def records_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.records / self.wall_seconds
+
+    @property
+    def ideal_speedup(self) -> float:
+        """Parallelism available in the shard split, independent of cores.
+
+        Total shard busy time divided by the busiest shard: the speedup a
+        machine with enough cores could extract from this queue balance.
+        """
+        busy = [s.wall_seconds for s in self.shards if s.wall_seconds > 0]
+        if not busy:
+            return 1.0
+        return sum(busy) / max(busy)
+
+
+class SimulatorShard:
+    """All mutable simulation state of one ``(data center, partition)``.
+
+    A shard owns its edge server (and caches), its users' browser caches,
+    its churn clock, an origin replica, an optional ISP-proxy layer and an
+    optional replica of the push plan.  Nothing is shared with other
+    shards, so a shard can be pickled into a worker process, serve its
+    request queue there, and be shipped back whole — leaving exactly the
+    state an in-process sequential run would have produced.
     """
 
     def __init__(
         self,
-        profiles: Iterable[SiteProfile] | None = None,
-        topology: Topology | None = None,
-        config: SimulationConfig | None = None,
+        dc: DataCenter,
+        partition: int,
+        config: SimulationConfig,
+        cache_priority: dict[str, float],
     ):
-        self.config = config or SimulationConfig()
-        self.topology = topology or default_datacenters(self.config.cache_capacity_bytes)
-        self.router = Router(self.topology)
-        self._rng = make_rng(self.config.seed)
-        self.origin = OriginServer(rng=make_rng(self.config.seed + 1))
-        self.client_model = ClientModel()
-        self.anonymizer = Anonymizer(salt=f"repro-{self.config.seed}")
-        self.metrics = SimulationMetrics()
-        chunker = Chunker(self.config.chunk_bytes)
-        self.edges: dict[str, EdgeServer] = {}
-        for dc in self.topology:
-            if self.config.split_small_object_cache:
-                small_capacity = max(1, int(self.config.small_cache_fraction * dc.cache_capacity_bytes))
-                large_capacity = max(1, dc.cache_capacity_bytes - small_capacity)
-                small_cache = Cache(capacity_bytes=small_capacity, policy=make_policy(self.config.cache_policy))
-                large_cache = Cache(capacity_bytes=large_capacity, policy=make_policy(self.config.cache_policy))
-            else:
-                small_cache = large_cache = Cache(
-                    capacity_bytes=dc.cache_capacity_bytes,
-                    policy=make_policy(self.config.cache_policy),
-                )
-            self.edges[dc.dc_id] = EdgeServer(
-                dc, small_cache, large_cache, self.origin, chunker,
-                trend_aware_ttl=self.config.trend_aware_ttl,
+        self.dc = dc
+        self.partition = partition
+        self.config = config
+        self.cache_priority = cache_priority
+        self.shard_id = f"{dc.dc_id}/{partition}"
+        capacity = max(1, dc.cache_capacity_bytes // max(1, config.shards_per_dc))
+        chunker = Chunker(config.chunk_bytes)
+        if config.split_small_object_cache:
+            small_capacity = max(1, int(config.small_cache_fraction * capacity))
+            large_capacity = max(1, capacity - small_capacity)
+            small_cache = Cache(capacity_bytes=small_capacity, policy=make_policy(config.cache_policy))
+            large_cache = Cache(capacity_bytes=large_capacity, policy=make_policy(config.cache_policy))
+        else:
+            small_cache = large_cache = Cache(
+                capacity_bytes=capacity, policy=make_policy(config.cache_policy)
             )
-        self._cache_priority = dict(self.config.cache_priority)
-        if profiles is not None:
-            for profile in profiles:
-                self._cache_priority.setdefault(profile.name, profile.cache_priority)
-        self._browsers: dict[str, BrowserCache] = {}
-        self._churn_clock: dict[str, float] = {dc.dc_id: 0.0 for dc in self.topology}
-        self._replicator: PushReplicator | None = None
+        # Origin replicas agree on every object's version because the
+        # mutation schedules are keyed on (seed, object_id), not on query
+        # order; each shard's replica counts only its own fetches.
+        self.origin = OriginServer(seed=config.seed + 1)
+        self.edge = EdgeServer(
+            dc, small_cache, large_cache, self.origin, chunker,
+            trend_aware_ttl=config.trend_aware_ttl,
+        )
+        self.client_model = ClientModel()
+        self.anonymizer = Anonymizer(salt=f"repro-{config.seed}")
+        self.metrics = SimulationMetrics()
+        self.browsers: OrderedDict[str, BrowserCache] = OrderedDict()
+        self.churn_clock = 0.0
+        self.replicator: PushReplicator | None = None
         self.proxies: IspProxyLayer | None = None
-        if self.config.isp_proxies:
+        if config.isp_proxies:
             self.proxies = IspProxyLayer(
-                ProxyConfig(capacity_bytes=self.config.isp_proxy_capacity_bytes)
+                ProxyConfig(capacity_bytes=config.isp_proxy_capacity_bytes)
             )
         self.playback: PlaybackModel | None = None
-        if self.config.playback_mode:
-            self.playback = PlaybackModel(segment_bytes=self.config.chunk_bytes)
+        if config.playback_mode:
+            self.playback = PlaybackModel(segment_bytes=config.chunk_bytes)
 
-    # -- public API ----------------------------------------------------------
+    # -- serving -------------------------------------------------------------
 
-    def run(self, requests: Iterable[Request]) -> Iterator[LogRecord]:
-        """Process requests in timestamp order, yielding log records.
+    def process(self, request: Request) -> list[LogRecord]:
+        """Serve one request, returning the records it emitted (0..n)."""
+        if self.playback is not None and self.playback.is_streamable(request.obj):
+            return list(self.serve_viewing(request))
+        record = self.serve(request)
+        return [record] if record is not None else []
 
-        Requests fully served from a user's local browser cache produce no
-        CDN log record (exactly why the paper's publishers cannot measure —
-        or rely on — browser caching).  Input order is trusted (the
-        workload generator emits sorted streams); out-of-order input only
-        perturbs cache-state realism, not correctness.
-        """
-        for request in requests:
-            if self.playback is not None and self.playback.is_streamable(request.obj):
-                yield from self.serve_viewing(request)
-                continue
-            record = self.serve(request)
-            if record is not None:
-                yield record
+    def _request_rng(self, request: Request) -> np.random.Generator:
+        """The request's private random stream — pure function of the id."""
+        return counter_rng(self.config.seed, "request", request.request_id)
 
-    def run_batches(
-        self,
-        requests: Iterable[Request] | Iterable[list[Request]],
-        batch_size: int = DEFAULT_BATCH_SIZE,
-    ) -> Iterator[RecordBatch]:
-        """Process requests and yield columnar :class:`RecordBatch` blocks.
-
-        Accepts either a flat request stream or the chunked stream from
-        :meth:`~repro.workload.generator.WorkloadGenerator.merged_request_batches`;
-        both are served through the same per-request machinery, so the
-        emitted records are identical to :meth:`run`'s.  This is the
-        production path into :meth:`repro.core.dataset.TraceDataset.from_batches`.
-        """
-        yield from iter_record_batches(
-            self.run(_flatten_requests(requests)), batch_size=batch_size
-        )
-
-    def warm(self, catalogs: Iterable) -> int:
-        """Pre-fill every edge cache with popular pre-existing objects.
-
-        Small objects (at most one chunk) are inserted first regardless of
-        popularity — the small-object tier the paper's Section V suggests,
-        cheap to keep resident — then larger objects follow in descending
-        popularity until the configured fill fraction is reached.  Only
-        pre-existing objects (alive at t=0) participate, subject to each
-        site's cache priority.  Returns the number of cache entries
-        created.  Models the steady-state cache a real CDN has when a
-        one-week observation window opens.
-        """
-        objects = [
-            obj
-            for catalog in catalogs
-            for obj in catalog
-            if obj.is_preexisting
-        ]
-        objects.sort(key=lambda o: (o.size_bytes > self.config.chunk_bytes, -o.popularity_weight))
-        inserted = 0
-        for edge in self.edges.values():
-            budgets = {id(cache): int(self.config.warm_fill_fraction * cache.capacity_bytes) for cache in edge.caches()}
-            for obj in objects:
-                if all(cache.used_bytes >= budgets[id(cache)] for cache in edge.caches()):
-                    break
-                if self._rng.random() >= self._cache_priority.get(obj.site, 1.0):
-                    continue
-                ttl = edge._ttl_for(obj)
-                for chunk in edge.chunker.all_chunks(obj):
-                    cache = edge.cache_for(chunk.size)
-                    if cache.used_bytes + chunk.size > budgets[id(cache)]:
-                        break
-                    # Version 1 matches the origin's initial version, so the
-                    # warm entries revalidate cleanly until content mutates.
-                    if cache.insert(chunk.key, chunk.size, 0.0, ttl=ttl, version=1):
-                        inserted += 1
-        return inserted
-
-    def enable_push(self, catalogs: Iterable) -> int:
-        """Turn on push-based replication of popular injected objects.
-
-        Builds the :class:`~repro.cdn.replication.PushReplicator` plan over
-        ``catalogs`` (paper Section V: push popular diurnal/long-lived
-        objects to locations close to end-users).  Returns the number of
-        planned pushes.
-        """
-        self._replicator = PushReplicator(popularity_quantile=self.config.push_popularity_quantile)
-        return self._replicator.build_plan(catalogs)
-
-    @property
-    def push_stats(self):
-        """Replication statistics, or None when push is disabled."""
-        return self._replicator.stats if self._replicator is not None else None
-
-    def serve_viewing(self, request: Request) -> Iterator[LogRecord]:
-        """Serve one video viewing as a stream of segment requests.
-
-        Only used in playback mode: the viewing is expanded into
-        sequential/seeking segment downloads with abandonment, each served
-        through the edge as an independent 206 request and logged
-        separately.
-        """
-        user, obj = request.user, request.obj
-        dc = self.router.route(user)
-        edge = self.edges[dc.dc_id]
-        browser = self._browsers.get(user.user_id)
+    def _browser_for(self, request: Request) -> BrowserCache:
+        user = request.user
+        browser = self.browsers.get(user.user_id)
         if browser is None:
             browser = BrowserCache(self.config.browser_cache_bytes, incognito=user.incognito)
-            self._browsers[user.user_id] = browser
+            self.browsers[user.user_id] = browser
+            cap = self.config.max_tracked_browsers
+            if cap is not None and len(self.browsers) > cap:
+                self.browsers.popitem(last=False)
+                self.metrics.evicted_browsers += 1
+        else:
+            self.browsers.move_to_end(user.user_id)
         browser.observe_request_time(request.timestamp)
-
-        allowed = self.origin.is_published(obj, request.timestamp) and self.origin.check_access(self._rng)
-        if not allowed:
-            decision = decide_response(ClientIntent(kind="full"), obj, False, 0)
-            self.metrics.record(
-                site=obj.site, category=obj.category, cache_status=CacheStatus.MISS,
-                status_code=decision.status_code, bytes_served=0, bytes_from_origin=0,
-                latency_ms=2 * latency_ms(user.continent, dc.continent),
-            )
-            yield self._record_for(request, dc, CacheStatus.MISS, decision, chunk_index=-1)
-            return
-
-        assert self.playback is not None
-        for segment in self.playback.viewing(obj, self._rng):
-            now = request.timestamp + segment.offset_seconds
-            self._apply_background_churn(dc.dc_id, edge, now)
-            if self._replicator is not None:
-                self._replicator.advance(now, self.edges.values())
-            version = self.origin.current_version(obj, now)
-            decision = decide_response(segment.intent, obj, True, version)
-            cacheable = self._rng.random() < self._cache_priority.get(obj.site, 1.0)
-            result = edge.serve(obj, segment.intent, now, cacheable=cacheable)
-            latency = 2 * latency_ms(user.continent, dc.continent)
-            if result.cache_status is CacheStatus.MISS:
-                latency += 2 * latency_ms(dc.continent, self.config.origin_continent)
-            self.metrics.record(
-                site=obj.site, category=obj.category, cache_status=result.cache_status,
-                status_code=decision.status_code, bytes_served=decision.bytes_served,
-                bytes_from_origin=result.bytes_from_origin, latency_ms=latency,
-            )
-            yield LogRecord(
-                timestamp=now,
-                site=obj.site,
-                object_id=self.anonymizer.url(obj.object_id),
-                extension=obj.extension,
-                object_size=obj.size_bytes,
-                user_id=self.anonymizer.user(user.user_id),
-                user_agent=user.user_agent,
-                cache_status=result.cache_status,
-                status_code=decision.status_code,
-                bytes_served=decision.bytes_served,
-                datacenter=dc.dc_id,
-                chunk_index=result.first_chunk_index,
-            )
-
-    def _record_for(self, request: Request, dc, cache_status, decision, chunk_index: int) -> LogRecord:
-        """Build a log record for a non-playback outcome (e.g. 403)."""
-        return LogRecord(
-            timestamp=request.timestamp,
-            site=request.obj.site,
-            object_id=self.anonymizer.url(request.obj.object_id),
-            extension=request.obj.extension,
-            object_size=request.obj.size_bytes,
-            user_id=self.anonymizer.user(request.user.user_id),
-            user_agent=request.user.user_agent,
-            cache_status=cache_status,
-            status_code=decision.status_code,
-            bytes_served=decision.bytes_served,
-            datacenter=dc.dc_id,
-            chunk_index=chunk_index,
-        )
+        return browser
 
     def serve(self, request: Request) -> LogRecord | None:
         """Serve one request end-to-end; None when served from the browser.
@@ -359,28 +305,24 @@ class CdnSimulator:
         """
         user, obj = request.user, request.obj
         now = request.timestamp
-        dc = self.router.route(user)
-        edge = self.edges[dc.dc_id]
-        self._apply_background_churn(dc.dc_id, edge, now)
-        if self._replicator is not None:
-            self._replicator.advance(now, self.edges.values())
+        dc, edge = self.dc, self.edge
+        rng = self._request_rng(request)
+        self._apply_background_churn(now)
+        if self.replicator is not None:
+            self.replicator.advance(now, (edge,))
 
-        browser = self._browsers.get(user.user_id)
-        if browser is None:
-            browser = BrowserCache(self.config.browser_cache_bytes, incognito=user.incognito)
-            self._browsers[user.user_id] = browser
-        browser.observe_request_time(now)
+        browser = self._browser_for(request)
 
         cached = browser.get(obj.object_id)
-        if cached is not None and self._rng.random() < self.config.browser_local_serve_prob:
+        if cached is not None and rng.random() < self.config.browser_local_serve_prob:
             return None  # served locally; the CDN never sees this access
 
         if self.proxies is not None and self.proxies.serve_locally(user.continent, obj, now):
             return None  # satisfied by the ISP proxy; invisible to CDN logs
         cached_version = cached.version if cached is not None else None
-        intent = self.client_model.intent(obj, cached_version, self._rng)
+        intent = self.client_model.intent(obj, cached_version, rng)
 
-        allowed = self.origin.is_published(obj, now) and self.origin.check_access(self._rng)
+        allowed = self.origin.is_published(obj, now) and self.origin.check_access(rng)
         current_version = self.origin.current_version(obj, now) if allowed else 0
         decision = decide_response(intent, obj, allowed, current_version)
 
@@ -392,7 +334,7 @@ class CdnSimulator:
         chunk_index = -1
         bytes_from_origin = 0
         if decision.status_code in (200, 206):
-            cacheable = self._rng.random() < self._cache_priority.get(obj.site, 1.0)
+            cacheable = rng.random() < self.cache_priority.get(obj.site, 1.0)
             result = edge.serve(obj, intent, now, cacheable=cacheable)
             cache_status = result.cache_status
             chunk_index = result.first_chunk_index
@@ -442,23 +384,95 @@ class CdnSimulator:
             chunk_index=chunk_index,
         )
 
-    # -- internals -----------------------------------------------------------
+    def serve_viewing(self, request: Request) -> Iterator[LogRecord]:
+        """Serve one video viewing as a stream of segment requests.
 
-    def _apply_background_churn(self, dc_id: str, edge: EdgeServer, now: float) -> None:
+        Only used in playback mode: the viewing is expanded into
+        sequential/seeking segment downloads with abandonment, each served
+        through the edge as an independent 206 request and logged
+        separately.
+        """
+        user, obj = request.user, request.obj
+        dc, edge = self.dc, self.edge
+        rng = self._request_rng(request)
+        self._browser_for(request)
+
+        allowed = self.origin.is_published(obj, request.timestamp) and self.origin.check_access(rng)
+        if not allowed:
+            decision = decide_response(ClientIntent(kind="full"), obj, False, 0)
+            self.metrics.record(
+                site=obj.site, category=obj.category, cache_status=CacheStatus.MISS,
+                status_code=decision.status_code, bytes_served=0, bytes_from_origin=0,
+                latency_ms=2 * latency_ms(user.continent, dc.continent),
+            )
+            yield self._record_for(request, dc, CacheStatus.MISS, decision, chunk_index=-1)
+            return
+
+        assert self.playback is not None
+        for segment in self.playback.viewing(obj, rng):
+            now = request.timestamp + segment.offset_seconds
+            self._apply_background_churn(now)
+            if self.replicator is not None:
+                self.replicator.advance(now, (edge,))
+            version = self.origin.current_version(obj, now)
+            decision = decide_response(segment.intent, obj, True, version)
+            cacheable = rng.random() < self.cache_priority.get(obj.site, 1.0)
+            result = edge.serve(obj, segment.intent, now, cacheable=cacheable)
+            latency = 2 * latency_ms(user.continent, dc.continent)
+            if result.cache_status is CacheStatus.MISS:
+                latency += 2 * latency_ms(dc.continent, self.config.origin_continent)
+            self.metrics.record(
+                site=obj.site, category=obj.category, cache_status=result.cache_status,
+                status_code=decision.status_code, bytes_served=decision.bytes_served,
+                bytes_from_origin=result.bytes_from_origin, latency_ms=latency,
+            )
+            yield LogRecord(
+                timestamp=now,
+                site=obj.site,
+                object_id=self.anonymizer.url(obj.object_id),
+                extension=obj.extension,
+                object_size=obj.size_bytes,
+                user_id=self.anonymizer.user(user.user_id),
+                user_agent=user.user_agent,
+                cache_status=result.cache_status,
+                status_code=decision.status_code,
+                bytes_served=decision.bytes_served,
+                datacenter=dc.dc_id,
+                chunk_index=result.first_chunk_index,
+            )
+
+    def _record_for(self, request: Request, dc, cache_status, decision, chunk_index: int) -> LogRecord:
+        """Build a log record for a non-playback outcome (e.g. 403)."""
+        return LogRecord(
+            timestamp=request.timestamp,
+            site=request.obj.site,
+            object_id=self.anonymizer.url(request.obj.object_id),
+            extension=request.obj.extension,
+            object_size=request.obj.size_bytes,
+            user_id=self.anonymizer.user(request.user.user_id),
+            user_agent=request.user.user_agent,
+            cache_status=cache_status,
+            status_code=decision.status_code,
+            bytes_served=decision.bytes_served,
+            datacenter=dc.dc_id,
+            chunk_index=chunk_index,
+        )
+
+    def _apply_background_churn(self, now: float) -> None:
         """Evict bytes on behalf of unsimulated publishers' traffic."""
         if self.config.background_churn_per_day <= 0:
             return
-        last = self._churn_clock[dc_id]
+        last = self.churn_clock
         if now <= last:
             return
         elapsed_days = (now - last) / 86_400.0
         # The shared large-object pool takes the pressure from other
         # publishers' (unsimulated) traffic; the small-object tier is
         # engineered to keep its working set resident.
-        budget = int(self.config.background_churn_per_day * elapsed_days * edge.large_cache.capacity_bytes)
+        budget = int(self.config.background_churn_per_day * elapsed_days * self.edge.large_cache.capacity_bytes)
         if budget > 0:
-            edge.large_cache.apply_pressure(budget)
-            self._churn_clock[dc_id] = now
+            self.edge.large_cache.apply_pressure(budget)
+            self.churn_clock = now
 
     def _maybe_browser_store(
         self,
@@ -471,3 +485,390 @@ class CdnSimulator:
         if obj.category is ContentCategory.VIDEO and not self.config.browser_caches_video and not force:
             return
         browser.put(obj.object_id, obj.size_bytes, version, now)
+
+
+def _serve_shard_queue(
+    shard: SimulatorShard, queued: list[Request], batch_size: int
+) -> tuple[SimulatorShard, list[RecordBatch], list[np.ndarray], float]:
+    """Worker-process entry: serve a shard's queue, return it mutated.
+
+    Records come back as column-only batches plus the per-record
+    ``request_id`` arrays the parent needs for the k-way merge; the shard
+    itself comes back whole so the parent holds exactly the state a
+    sequential run would have left.
+    """
+    start = time.perf_counter()
+    builder = BatchBuilder()
+    rids: list[int] = []
+    batches: list[RecordBatch] = []
+    rid_arrays: list[np.ndarray] = []
+
+    def flush() -> None:
+        nonlocal builder, rids
+        if len(builder):
+            batches.append(builder.finish().drop_records())
+            rid_arrays.append(np.asarray(rids, dtype=np.int64))
+            builder, rids = BatchBuilder(), []
+
+    for request in queued:
+        for record in shard.process(request):
+            builder.append(record)
+            rids.append(request.request_id)
+            if len(builder) >= batch_size:
+                flush()
+    flush()
+    return shard, batches, rid_arrays, time.perf_counter() - start
+
+
+class CdnSimulator:
+    """Simulate a CDN serving a stream of workload requests.
+
+    Parameters
+    ----------
+    profiles:
+        Site profiles (used for per-site cache priority); optional.
+    topology:
+        Data centers; defaults to one per continent.
+    config:
+        Simulation tunables.
+    """
+
+    def __init__(
+        self,
+        profiles: Iterable[SiteProfile] | None = None,
+        topology: Topology | None = None,
+        config: SimulationConfig | None = None,
+    ):
+        self.config = config or SimulationConfig()
+        if self.config.shards_per_dc < 1:
+            raise ValueError(f"shards_per_dc must be >= 1, got {self.config.shards_per_dc}")
+        self.topology = topology or default_datacenters(self.config.cache_capacity_bytes)
+        self.router = Router(self.topology)
+        self._cache_priority = dict(self.config.cache_priority)
+        if profiles is not None:
+            for profile in profiles:
+                self._cache_priority.setdefault(profile.name, profile.cache_priority)
+        self._shards: dict[tuple[str, int], SimulatorShard] = {}
+        for dc in self.topology:
+            for partition in range(self.config.shards_per_dc):
+                self._shards[(dc.dc_id, partition)] = SimulatorShard(
+                    dc, partition, self.config, self._cache_priority
+                )
+        self._next_request_id = 0
+        #: Statistics of the latest :meth:`run_batches` call.
+        self.sim_stats: SimStats | None = None
+
+    # -- aggregate views over the shards -------------------------------------
+
+    @property
+    def edges(self) -> dict[str, EdgeServer]:
+        """Edge servers by id (``dc_id`` alone when one partition per DC)."""
+        if self.config.shards_per_dc == 1:
+            return {dc_id: shard.edge for (dc_id, _), shard in self._shards.items()}
+        return {shard.shard_id: shard.edge for shard in self._shards.values()}
+
+    @property
+    def metrics(self) -> SimulationMetrics:
+        """Per-site counters merged over all shards (fixed shard order)."""
+        merged = SimulationMetrics()
+        for shard in self._shards.values():
+            merged.merge(shard.metrics)
+        return merged
+
+    @property
+    def origin(self) -> "OriginLedger":
+        """Aggregate origin-side counters over every shard's replica."""
+        ledger = OriginLedger()
+        for shard in self._shards.values():
+            ledger.fetches += shard.origin.fetches
+            ledger.bytes_served += shard.origin.bytes_served
+        return ledger
+
+    @property
+    def proxies(self) -> IspProxyLayer | None:
+        """Merged ISP-proxy counters, or None when proxies are disabled."""
+        if not self.config.isp_proxies:
+            return None
+        merged = IspProxyLayer(ProxyConfig(capacity_bytes=self.config.isp_proxy_capacity_bytes))
+        for shard in self._shards.values():
+            if shard.proxies is not None:
+                merged.merge(shard.proxies)
+        return merged
+
+    @property
+    def push_stats(self) -> PushStats | None:
+        """Replication statistics, or None when push is disabled."""
+        replicas = [s.replicator for s in self._shards.values() if s.replicator is not None]
+        if not replicas:
+            return None
+        merged = PushStats()
+        for replica in replicas:
+            merged.merge(replica.stats)
+        return merged
+
+    def cache_stats(self) -> CacheStats:
+        """All edge-cache counters folded into one (fixed shard order)."""
+        merged = CacheStats()
+        for shard in self._shards.values():
+            for cache in shard.edge.caches():
+                merged.merge(cache.stats)
+        return merged
+
+    @property
+    def playback(self) -> PlaybackModel | None:
+        return next(iter(self._shards.values())).playback
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, requests: Iterable[Request]) -> Iterator[LogRecord]:
+        """Process requests in timestamp order, yielding log records.
+
+        Requests fully served from a user's local browser cache produce no
+        CDN log record (exactly why the paper's publishers cannot measure —
+        or rely on — browser caching).  Input order is trusted (the
+        workload generator emits sorted streams); out-of-order input only
+        perturbs cache-state realism, not correctness.
+        """
+        for request in self._identified(requests):
+            yield from self._shard_of(request.user).process(request)
+
+    def run_batches(
+        self,
+        requests: Iterable[Request] | Iterable[list[Request]],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        workers: int | None = None,
+    ) -> Iterator[RecordBatch]:
+        """Process requests and yield columnar :class:`RecordBatch` blocks.
+
+        Accepts either a flat request stream or the chunked stream from
+        :meth:`~repro.workload.generator.WorkloadGenerator.merged_request_batches`;
+        both are served through the same per-request machinery, so the
+        emitted records are identical to :meth:`run`'s.  This is the
+        production path into :meth:`repro.core.dataset.TraceDataset.from_batches`.
+
+        ``workers`` above 1 (default: ``REPRO_SIM_WORKERS``, else 1) serves
+        each shard's queue in its own process and k-way merges the shard
+        streams back by ``request_id`` — the output is bit-identical to the
+        sequential path for any worker count and batch size, and the
+        merged metrics match exactly.  :attr:`sim_stats` is populated once
+        the returned iterator is exhausted.
+        """
+        if workers is None:
+            workers = int(os.environ.get(WORKERS_ENV, "1") or 1)
+        workers = max(1, workers)
+        if workers > 1:
+            return self._run_batches_parallel(requests, batch_size, workers)
+        return self._run_batches_sequential(requests, batch_size)
+
+    def warm(self, catalogs: Iterable) -> int:
+        """Pre-fill every edge cache with popular pre-existing objects.
+
+        Small objects (at most one chunk) are inserted first regardless of
+        popularity — the small-object tier the paper's Section V suggests,
+        cheap to keep resident — then larger objects follow in descending
+        popularity until the configured fill fraction is reached.  Only
+        pre-existing objects (alive at t=0) participate, subject to each
+        site's cache priority.  The admission draw is keyed on the object
+        (not drawn from a shared stream), so every edge warms with the
+        same objects regardless of topology size or iteration order.
+        Returns the number of cache entries created.  Models the
+        steady-state cache a real CDN has when a one-week observation
+        window opens.
+        """
+        objects = [
+            obj
+            for catalog in catalogs
+            for obj in catalog
+            if obj.is_preexisting
+        ]
+        objects.sort(key=lambda o: (o.size_bytes > self.config.chunk_bytes, -o.popularity_weight))
+        # One admission decision per object, hoisted out of the edge loop.
+        admitted = []
+        for obj in objects:
+            priority = self._cache_priority.get(obj.site, 1.0)
+            if priority < 1.0:
+                draw = counter_rng(
+                    self.config.seed, "warm", zlib.crc32(obj.object_id.encode("utf-8"))
+                ).random()
+                if draw >= priority:
+                    continue
+            admitted.append(obj)
+        inserted = 0
+        for shard in self._shards.values():
+            edge = shard.edge
+            budgets = {id(cache): int(self.config.warm_fill_fraction * cache.capacity_bytes) for cache in edge.caches()}
+            for obj in admitted:
+                if all(cache.used_bytes >= budgets[id(cache)] for cache in edge.caches()):
+                    break
+                ttl = edge._ttl_for(obj)
+                for chunk in edge.chunker.all_chunks(obj):
+                    cache = edge.cache_for(chunk.size)
+                    if cache.used_bytes + chunk.size > budgets[id(cache)]:
+                        break
+                    # Version 1 matches the origin's initial version, so the
+                    # warm entries revalidate cleanly until content mutates.
+                    if cache.insert(chunk.key, chunk.size, 0.0, ttl=ttl, version=1):
+                        inserted += 1
+        return inserted
+
+    def enable_push(self, catalogs: Iterable) -> int:
+        """Turn on push-based replication of popular injected objects.
+
+        Builds the :class:`~repro.cdn.replication.PushReplicator` plan over
+        ``catalogs`` (paper Section V: push popular diurnal/long-lived
+        objects to locations close to end-users) and gives every shard a
+        replica with its own cursor.  Returns the number of planned pushes.
+        """
+        plan = PushReplicator(popularity_quantile=self.config.push_popularity_quantile)
+        planned = plan.build_plan(catalogs)
+        for shard in self._shards.values():
+            shard.replicator = plan.fork()
+        return planned
+
+    def serve(self, request: Request) -> LogRecord | None:
+        """Serve one request end-to-end; None when served from the browser."""
+        request = next(self._identified((request,)))
+        return self._shard_of(request.user).serve(request)
+
+    def serve_viewing(self, request: Request) -> Iterator[LogRecord]:
+        """Serve one video viewing as a stream of segment requests."""
+        request = next(self._identified((request,)))
+        return self._shard_of(request.user).serve_viewing(request)
+
+    # -- internals -----------------------------------------------------------
+
+    def _shard_key(self, user) -> tuple[str, int]:
+        return self.router.shard_for(user, self.config.shards_per_dc)
+
+    def _shard_of(self, user) -> SimulatorShard:
+        return self._shards[self._shard_key(user)]
+
+    def _identified(self, requests: Iterable[Request]) -> Iterator[Request]:
+        """Stamp stream-order request ids onto requests that lack one.
+
+        Ids key each request's random stream, so the same input stream
+        gets the same ids — and therefore the same draws — on every
+        execution path.
+        """
+        for request in requests:
+            if request.request_id < 0:
+                request = replace(request, request_id=self._next_request_id)
+                self._next_request_id += 1
+            else:
+                self._next_request_id = max(self._next_request_id, request.request_id + 1)
+            yield request
+
+    def _run_batches_sequential(
+        self, requests: Iterable[Request] | Iterable[list[Request]], batch_size: int
+    ) -> Iterator[RecordBatch]:
+        start = time.perf_counter()
+        queued = {key: 0 for key in self._shards}
+        emitted = {key: 0 for key in self._shards}
+        busy = {key: 0.0 for key in self._shards}
+
+        def stream() -> Iterator[LogRecord]:
+            for request in self._identified(_flatten_requests(requests)):
+                key = self._shard_key(request.user)
+                tick = time.perf_counter()
+                records = self._shards[key].process(request)
+                busy[key] += time.perf_counter() - tick
+                queued[key] += 1
+                emitted[key] += len(records)
+                yield from records
+
+        yield from iter_record_batches(stream(), batch_size=batch_size)
+        self.sim_stats = self._build_stats(
+            workers=1,
+            wall_seconds=time.perf_counter() - start,
+            queued=queued,
+            emitted=emitted,
+            busy=busy,
+        )
+
+    def _run_batches_parallel(
+        self,
+        requests: Iterable[Request] | Iterable[list[Request]],
+        batch_size: int,
+        workers: int,
+    ) -> Iterator[RecordBatch]:
+        start = time.perf_counter()
+        partitions: dict[tuple[str, int], list[Request]] = {key: [] for key in self._shards}
+        for request in self._identified(_flatten_requests(requests)):
+            partitions[self._shard_key(request.user)].append(request)
+        tasks = [(key, queued) for key, queued in partitions.items() if queued]
+
+        results: dict[tuple[str, int], tuple] = {}
+        if tasks:
+            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+                futures = {
+                    pool.submit(_serve_shard_queue, self._shards[key], queued, batch_size): key
+                    for key, queued in tasks
+                }
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+
+        queued_counts = {key: len(q) for key, q in partitions.items()}
+        emitted = {key: 0 for key in self._shards}
+        busy = {key: 0.0 for key in self._shards}
+        streams = []
+        for key, _ in tasks:
+            shard, batches, rid_arrays, shard_seconds = results[key]
+            # The worker's mutated shard replaces the stale parent copy, so
+            # caches/browsers/metrics match a sequential run exactly.
+            self._shards[key] = shard
+            emitted[key] = sum(len(batch) for batch in batches)
+            busy[key] = shard_seconds
+            streams.append(_rid_record_stream(batches, rid_arrays))
+
+        # Disjoint, stream-ordered id sets per shard: merging by id
+        # reproduces the sequential emission order exactly.
+        merged = heapq.merge(*streams, key=lambda pair: pair[0])
+        yield from iter_record_batches((record for _, record in merged), batch_size=batch_size)
+        self.sim_stats = self._build_stats(
+            workers=min(workers, len(tasks)) if tasks else 1,
+            wall_seconds=time.perf_counter() - start,
+            queued=queued_counts,
+            emitted=emitted,
+            busy=busy,
+        )
+
+    def _build_stats(
+        self,
+        workers: int,
+        wall_seconds: float,
+        queued: dict[tuple[str, int], int],
+        emitted: dict[tuple[str, int], int],
+        busy: dict[tuple[str, int], float],
+    ) -> SimStats:
+        shards = tuple(
+            ShardStats(
+                shard_id=self._shards[key].shard_id,
+                queue_depth=queued[key],
+                records=emitted[key],
+                wall_seconds=busy[key],
+            )
+            for key in self._shards
+        )
+        return SimStats(
+            workers=workers,
+            requests=sum(queued.values()),
+            records=sum(emitted.values()),
+            wall_seconds=wall_seconds,
+            shards=shards,
+        )
+
+
+def _rid_record_stream(
+    batches: list[RecordBatch], rid_arrays: list[np.ndarray]
+) -> Iterator[tuple[int, LogRecord]]:
+    """(request_id, record) pairs of one shard's output, in shard order."""
+    for batch, rids in zip(batches, rid_arrays):
+        yield from zip(rids.tolist(), batch.iter_records())
+
+
+@dataclass
+class OriginLedger:
+    """Origin-side totals summed over every shard's origin replica."""
+
+    fetches: int = 0
+    bytes_served: int = 0

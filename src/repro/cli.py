@@ -36,6 +36,36 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sim_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sim-workers",
+        type=int,
+        default=None,
+        help=(
+            "simulation shard worker processes (default: REPRO_SIM_WORKERS, "
+            "else 1); output is bit-identical for any value"
+        ),
+    )
+
+
+def _print_sim_stats(simulator) -> None:
+    stats = simulator.sim_stats
+    if stats is None:
+        return
+    print(
+        f"simulate: {stats.records} records in {stats.wall_seconds:.2f}s "
+        f"({stats.records_per_sec:,.0f} records/s, workers={stats.workers}, "
+        f"ideal speedup {stats.ideal_speedup:.2f}x)"
+    )
+    for shard in stats.shards:
+        if shard.queue_depth == 0:
+            continue
+        print(
+            f"  shard {shard.shard_id}: {shard.queue_depth} queued, "
+            f"{shard.records} records, {shard.wall_seconds:.2f}s busy"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -48,10 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     gen = sub.add_parser("generate", help="generate a synthetic CDN trace file")
     _add_common(gen)
+    _add_sim_workers(gen)
     gen.add_argument("--out", required=True, help="output path (.csv / .jsonl / .bin)")
 
     sim = sub.add_parser("simulate", help="run the CDN simulator and print cache metrics")
     _add_common(sim)
+    _add_sim_workers(sim)
     sim.add_argument("--policy", choices=policy_names(), default="lru", help="edge cache policy")
     sim.add_argument("--capacity-gb", type=float, default=40.0, help="edge cache capacity per DC")
     sim.add_argument("--no-ttl", action="store_true", help="disable trend-aware TTL revalidation")
@@ -87,7 +119,17 @@ def build_parser() -> argparse.ArgumentParser:
         "ingest-bench",
         help="time batch vs record-at-a-time ingest of a trace file",
     )
-    bench.add_argument("--trace", required=True, help="trace file to ingest with both engines")
+    bench.add_argument("--trace", help="trace file to ingest with both engines")
+    bench.add_argument(
+        "--simulate",
+        action="store_true",
+        help=(
+            "end-to-end mode: generate a workload and simulate it in-process "
+            "(timing each stage) instead of reading --trace"
+        ),
+    )
+    _add_common(bench)
+    _add_sim_workers(bench)
     bench.add_argument(
         "--batch-size",
         type=int,
@@ -135,13 +177,55 @@ def _ingest_bench(args: argparse.Namespace) -> int:
     import time
     from pathlib import Path
 
-    batches = list(TraceReader(args.trace).iter_batches(batch_size=args.batch_size))
-    records = [record for batch in batches for record in batch.iter_records()]
-    for batch in batches:
-        batch.drop_records()
+    source = args.trace
+    if args.simulate:
+        # End-to-end mode: generate → simulate → ingest, timing each stage.
+        from repro.cdn.simulator import CdnSimulator
+        from repro.pipeline import DEFAULT_CACHE_CATALOG_FRACTION
+        from repro.workload.generator import WorkloadGenerator
+        from repro.workload.profiles import ALL_PROFILES
+
+        scale = _SCALES[args.scale]()
+        profiles = ALL_PROFILES()
+        generator = WorkloadGenerator(profiles=profiles, scale=scale, seed=args.seed)
+        start = time.perf_counter()
+        workloads = generator.generate_all()
+        generate_seconds = time.perf_counter() - start
+        catalog_bytes = sum(w.catalog.total_bytes() for w in workloads.values())
+        capacity = max(200_000_000, int(DEFAULT_CACHE_CATALOG_FRACTION * catalog_bytes))
+        simulator = CdnSimulator(
+            profiles=profiles,
+            config=SimulationConfig(seed=args.seed + 1, cache_capacity_bytes=capacity),
+        )
+        simulator.warm(w.catalog for w in workloads.values())
+        batches = list(
+            simulator.run_batches(
+                generator.merged_request_batches(workloads),
+                batch_size=args.batch_size,
+                workers=args.sim_workers,
+            )
+        )
+        source = f"simulate(seed={args.seed}, scale={args.scale})"
+        total_requests = sum(w.request_count for w in workloads.values())
+        print(
+            f"generate: {total_requests} requests over "
+            f"{len(workloads)} sites in {generate_seconds:.2f}s"
+        )
+        _print_sim_stats(simulator)
+        records = [record for batch in batches for record in batch.iter_records()]
+        for batch in batches:
+            batch.drop_records()
+    elif args.trace:
+        batches = list(TraceReader(args.trace).iter_batches(batch_size=args.batch_size))
+        records = [record for batch in batches for record in batch.iter_records()]
+        for batch in batches:
+            batch.drop_records()
+    else:
+        print("ingest-bench needs --trace FILE or --simulate")
+        return 2
     total = len(records)
     if total == 0:
-        print(f"{args.trace}: trace is empty, nothing to benchmark")
+        print(f"{source}: trace is empty, nothing to benchmark")
         return 1
 
     def best_of(build) -> float:
@@ -155,7 +239,7 @@ def _ingest_bench(args: argparse.Namespace) -> int:
     record_seconds = best_of(lambda: TraceDataset.from_records(records, engine="record"))
     batch_seconds = best_of(lambda: TraceDataset.from_batches(batches))
     speedup = record_seconds / batch_seconds
-    print(f"trace: {args.trace} ({total} records, batch_size={args.batch_size})")
+    print(f"trace: {source} ({total} records, batch_size={args.batch_size})")
     print(f"record engine: {record_seconds:8.3f}s  {total / record_seconds:12,.0f} records/s")
     print(f"batch engine:  {batch_seconds:8.3f}s  {total / batch_seconds:12,.0f} records/s")
     print(f"speedup: {speedup:.1f}x")
@@ -196,7 +280,7 @@ def _ingest_bench(args: argparse.Namespace) -> int:
         entries.append(
             {
                 "figure": "ingest_throughput",
-                "trace": str(args.trace),
+                "trace": str(source),
                 "records": total,
                 "batch_size": args.batch_size,
                 "record_seconds": round(record_seconds, 6),
@@ -228,7 +312,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     scale = _SCALES[getattr(args, "scale", "small")]() if hasattr(args, "scale") else None
 
     if args.command == "generate":
-        written = generate_trace_file(args.out, seed=args.seed, scale=scale)
+        written = generate_trace_file(
+            args.out, seed=args.seed, scale=scale, sim_workers=args.sim_workers
+        )
         print(f"wrote {written} records to {args.out}")
         return 0
 
@@ -239,12 +325,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             trend_aware_ttl=not args.no_ttl,
             seed=args.seed + 1,
         )
-        result = run_pipeline(seed=args.seed, scale=scale, sim_config=config)
+        result = run_pipeline(
+            seed=args.seed, scale=scale, sim_config=config, sim_workers=args.sim_workers
+        )
         metrics = result.simulator.metrics
         print(f"policy={args.policy} capacity={args.capacity_gb:.0f}GB requests={metrics.total_requests}")
         for site, site_metrics in sorted(metrics.sites.items()):
             print(f"  {site}: hit_ratio={site_metrics.hit_ratio:6.1%} requests={site_metrics.requests}")
         print(f"  overall hit ratio: {metrics.overall_hit_ratio:6.1%}")
+        _print_sim_stats(result.simulator)
         return 0
 
     if args.command == "analyze":

@@ -55,6 +55,7 @@ def run_pipeline(
     profiles: tuple[SiteProfile, ...] | None = None,
     sim_config: SimulationConfig | None = None,
     keep_store: bool = True,
+    sim_workers: int | None = None,
 ) -> PipelineResult:
     """Generate a synthetic week of adult-CDN traffic and index it.
 
@@ -65,7 +66,10 @@ def run_pipeline(
     pre-existing objects (a real CDN is never cold when a measurement week
     starts).  ``keep_store=False`` streams the simulated batches through
     the accumulator ingest and keeps only aggregates (``result.batches``
-    is then empty and ``result.records`` unavailable).
+    is then empty and ``result.records`` unavailable).  ``sim_workers``
+    above 1 (default: the ``REPRO_SIM_WORKERS`` environment variable)
+    serves the simulation shards in parallel processes; the emitted trace
+    is bit-identical either way.
     """
     profiles = profiles if profiles is not None else ALL_PROFILES()
     scale = scale or ScaleConfig.small()
@@ -79,7 +83,9 @@ def run_pipeline(
     simulator = CdnSimulator(profiles=profiles, config=sim_config)
     if sim_config.warm_caches:
         simulator.warm(w.catalog for w in workloads.values())
-    batch_stream = simulator.run_batches(generator.merged_request_batches(workloads))
+    batch_stream = simulator.run_batches(
+        generator.merged_request_batches(workloads), workers=sim_workers
+    )
     if keep_store:
         batches = list(batch_stream)
         dataset = TraceDataset.from_batches(batches)
@@ -109,7 +115,8 @@ def generate_trace_file(
     seed: int = 0,
     scale: ScaleConfig | None = None,
     profiles: tuple[SiteProfile, ...] | None = None,
+    sim_workers: int | None = None,
 ) -> int:
     """Generate a trace and write it to ``path``; returns records written."""
-    result = run_pipeline(seed=seed, scale=scale, profiles=profiles)
+    result = run_pipeline(seed=seed, scale=scale, profiles=profiles, sim_workers=sim_workers)
     return write_trace_batches(result.batches, path)

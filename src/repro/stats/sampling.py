@@ -26,6 +26,30 @@ def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generat
     return np.random.default_rng(seed)
 
 
+#: 64-bit golden-ratio multiplier used to spread small integer seeds over
+#: the whole key space before combining with a domain hash.
+_GOLDEN = 0x9E3779B97F4A7C15
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+def counter_rng(seed: int, domain: str, index: int) -> np.random.Generator:
+    """A counter-based random stream keyed on ``(seed, domain, index)``.
+
+    Built on Philox, whose streams are indexed by key rather than by
+    consuming a parent generator's state: the stream for a given key is
+    identical no matter how many other streams were created before it, in
+    what order, or in which process.  The simulator keys one stream per
+    request (``domain="request"``, ``index=request_id``) so every
+    stochastic draw is a pure function of the request — the property that
+    makes shard-parallel execution bit-identical to the sequential loop.
+    """
+    key = np.array(
+        [(seed * _GOLDEN + zlib.crc32(domain.encode("utf-8"))) & _U64, index & _U64],
+        dtype=np.uint64,
+    )
+    return np.random.Generator(np.random.Philox(key=key))
+
+
 def spawn_rng(rng: np.random.Generator, label: str) -> np.random.Generator:
     """Derive an independent child generator from ``rng`` and a label.
 

@@ -23,7 +23,7 @@ HTTP log the analysis pipeline consumes.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 import numpy as np
@@ -47,6 +47,12 @@ class Request:
     user: User
     obj: ContentObject
     is_repeat: bool = False
+    #: Position of the request in the merged global stream; -1 until
+    #: assigned by :meth:`WorkloadGenerator.merged_requests` (the simulator
+    #: assigns stream order itself when it sees -1).  The id keys the
+    #: request's counter-based random stream, so every stochastic outcome
+    #: is a pure function of the request — see :func:`repro.stats.sampling.counter_rng`.
+    request_id: int = -1
 
     def __lt__(self, other: "Request") -> bool:
         return self.timestamp < other.timestamp
@@ -148,11 +154,16 @@ class WorkloadGenerator:
         """All sites' requests merged into one global time order.
 
         The CDN simulator consumes this stream so that shared edge caches
-        see cross-site interleaving, as a real CDN does.
+        see cross-site interleaving, as a real CDN does.  Each merged
+        request is stamped with its position as ``request_id`` — the
+        stable key the simulator's counter-based RNG and shard-parallel
+        merge are built on.
         """
         if workloads is None:
             workloads = self.generate_all()
-        yield from heapq.merge(*(w.requests for w in workloads.values()), key=lambda r: r.timestamp)
+        merged = heapq.merge(*(w.requests for w in workloads.values()), key=lambda r: r.timestamp)
+        for request_id, request in enumerate(merged):
+            yield replace(request, request_id=request_id)
 
     def merged_request_batches(
         self,

@@ -1,0 +1,284 @@
+"""Shard-parallel simulation equivalence: bit-identical output, merged metrics.
+
+The sharded simulator's contract (mirroring
+``tests/core/test_streaming_equivalence.py`` for the ingest engines):
+``run_batches(workers=N)`` must produce *exactly* the record stream of the
+sequential path — every ``LogRecord`` field, in the same global order —
+for any worker count and batch size, and the merged
+``SimulationMetrics`` / ``CacheStats`` / origin / push / proxy counters
+must match the sequential run's exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cdn.simulator import CdnSimulator, SimulationConfig
+from repro.stats.sampling import counter_rng
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import profile_v1, profile_v2
+from repro.workload.scale import ScaleConfig
+
+SEED = 11
+N_REQUESTS = 2500
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Two sites' merged, id-stamped request stream plus their catalogs."""
+    profiles = (profile_v1(), profile_v2())
+    generator = WorkloadGenerator(profiles=profiles, scale=ScaleConfig.tiny(), seed=SEED)
+    workloads = generator.generate_all()
+    requests = []
+    for request in generator.merged_requests(workloads):
+        requests.append(request)
+        if len(requests) >= N_REQUESTS:
+            break
+    catalogs = [w.catalog for w in workloads.values()]
+    return profiles, requests, catalogs
+
+
+def _simulator(profiles, catalogs, **overrides) -> CdnSimulator:
+    config = SimulationConfig(seed=SEED + 1, cache_capacity_bytes=2_000_000_000, **overrides)
+    simulator = CdnSimulator(profiles=profiles, config=config)
+    simulator.warm(catalogs)
+    return simulator
+
+
+def _run_sequential(profiles, requests, catalogs, **overrides):
+    simulator = _simulator(profiles, catalogs, **overrides)
+    records = list(simulator.run(iter(requests)))
+    return simulator, records
+
+
+def _run_batched(profiles, requests, catalogs, workers, batch_size, **overrides):
+    simulator = _simulator(profiles, catalogs, **overrides)
+    batches = list(simulator.run_batches(iter(requests), batch_size=batch_size, workers=workers))
+    records = [record for batch in batches for record in batch.iter_records()]
+    return simulator, records, batches
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    """The sequential run every parallel configuration must reproduce."""
+    profiles, requests, catalogs = workload
+    return _run_sequential(profiles, requests, catalogs)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 7])
+    @pytest.mark.parametrize("batch_size", [1, 64, 10**9])
+    def test_run_batches_matches_sequential(self, workload, reference, workers, batch_size):
+        profiles, requests, catalogs = workload
+        _, expected = reference
+        _, records, batches = _run_batched(
+            profiles, requests, catalogs, workers=workers, batch_size=batch_size
+        )
+        assert len(records) == len(expected)
+        assert records == expected  # every LogRecord field, field by field
+        if batch_size < 10**9:
+            assert all(len(batch) <= batch_size for batch in batches)
+
+    def test_global_order_is_sequential_order(self, workload, reference):
+        profiles, requests, catalogs = workload
+        _, expected = reference
+        _, records, _ = _run_batched(profiles, requests, catalogs, workers=3, batch_size=128)
+        assert [r.timestamp for r in records] == [r.timestamp for r in expected]
+        assert [r.timestamp for r in records] == sorted(r.timestamp for r in records)
+
+    def test_workers_env_variable(self, workload, reference, monkeypatch):
+        from repro.cdn import simulator as sim_module
+
+        monkeypatch.setenv(sim_module.WORKERS_ENV, "2")
+        profiles, requests, catalogs = workload
+        _, expected = reference
+        simulator, records, _ = _run_batched(
+            profiles, requests, catalogs, workers=None, batch_size=256
+        )
+        assert records == expected
+        assert simulator.sim_stats is not None and simulator.sim_stats.workers == 2
+
+
+class TestMergedMetrics:
+    def test_metrics_match_sequential_exactly(self, workload, reference):
+        profiles, requests, catalogs = workload
+        seq_sim, _ = reference
+        par_sim, _, _ = _run_batched(profiles, requests, catalogs, workers=4, batch_size=512)
+        assert par_sim.metrics == seq_sim.metrics  # includes float latency totals
+        assert par_sim.cache_stats() == seq_sim.cache_stats()
+        assert par_sim.origin == seq_sim.origin
+
+    def test_per_edge_cache_state_matches(self, workload, reference):
+        profiles, requests, catalogs = workload
+        seq_sim, _ = reference
+        par_sim, _, _ = _run_batched(profiles, requests, catalogs, workers=2, batch_size=256)
+        for dc_id, seq_edge in seq_sim.edges.items():
+            par_edge = par_sim.edges[dc_id]
+            for seq_cache, par_cache in zip(seq_edge.caches(), par_edge.caches()):
+                assert seq_cache.stats == par_cache.stats
+                assert seq_cache.used_bytes == par_cache.used_bytes
+                assert len(seq_cache) == len(par_cache)
+
+    def test_push_and_proxy_stats_match(self, workload):
+        profiles, requests, catalogs = workload
+
+        def run(workers):
+            simulator = _simulator(profiles, catalogs, isp_proxies=True)
+            simulator.enable_push(catalogs)
+            batches = list(simulator.run_batches(iter(requests), batch_size=512, workers=workers))
+            records = [record for batch in batches for record in batch.iter_records()]
+            return simulator, records
+
+        seq_sim, seq_records = run(workers=1)
+        par_sim, par_records = run(workers=3)
+        assert par_records == seq_records
+        assert par_sim.push_stats == seq_sim.push_stats
+        seq_proxies, par_proxies = seq_sim.proxies, par_sim.proxies
+        assert (seq_proxies.total_hits, seq_proxies.total_lookups) == (
+            par_proxies.total_hits,
+            par_proxies.total_lookups,
+        )
+
+    def test_playback_mode_matches(self, workload):
+        profiles, requests, catalogs = workload
+        seq_sim, seq_records = _run_sequential(
+            profiles, requests[:800], catalogs, playback_mode=True
+        )
+        par_sim, par_records, _ = _run_batched(
+            profiles, requests[:800], catalogs, workers=2, batch_size=64, playback_mode=True
+        )
+        assert par_records == seq_records
+        assert par_sim.metrics == seq_sim.metrics
+
+
+class TestShardsPerDc:
+    def test_partitioned_dc_still_bit_identical(self, workload):
+        profiles, requests, catalogs = workload
+        seq_sim, seq_records = _run_sequential(profiles, requests, catalogs, shards_per_dc=2)
+        par_sim, par_records, _ = _run_batched(
+            profiles, requests, catalogs, workers=5, batch_size=256, shards_per_dc=2
+        )
+        assert par_records == seq_records
+        assert par_sim.metrics == seq_sim.metrics
+        assert par_sim.cache_stats() == seq_sim.cache_stats()
+
+    def test_partition_count_validated(self):
+        with pytest.raises(ValueError):
+            CdnSimulator(config=SimulationConfig(shards_per_dc=0))
+
+
+class TestSimStats:
+    def test_stats_populated_after_exhaustion(self, workload):
+        profiles, requests, catalogs = workload
+        for workers in (1, 2):
+            simulator, records, _ = _run_batched(
+                profiles, requests, catalogs, workers=workers, batch_size=512
+            )
+            stats = simulator.sim_stats
+            assert stats is not None
+            assert stats.requests == len(requests)
+            assert stats.records == len(records)
+            assert sum(s.records for s in stats.shards) == stats.records
+            assert sum(s.queue_depth for s in stats.shards) == stats.requests
+            assert stats.wall_seconds > 0
+            assert stats.records_per_sec > 0
+            assert stats.ideal_speedup >= 1.0
+
+
+class TestWarmDeterminism:
+    def test_warm_identical_across_topology_sizes(self, workload):
+        """The warm admission draw is keyed per object, so the set of
+        objects an edge warms with cannot depend on how many other edges
+        exist or on edge iteration order."""
+        from repro.cdn.geo import DataCenter, Topology
+        from repro.types import Continent
+
+        profiles, _, catalogs = workload
+        full = _simulator(profiles, catalogs)
+        solo_topology = Topology(
+            datacenters=(
+                DataCenter(
+                    dc_id="dc-north_america",
+                    continent=Continent.NORTH_AMERICA,
+                    cache_capacity_bytes=2_000_000_000,
+                ),
+            )
+        )
+        solo = CdnSimulator(
+            profiles=profiles,
+            topology=solo_topology,
+            config=SimulationConfig(seed=SEED + 1, cache_capacity_bytes=2_000_000_000),
+        )
+        solo.warm(catalogs)
+        full_edge = full.edges["dc-north_america"]
+        solo_edge = solo.edges["dc-north_america"]
+        for full_cache, solo_cache in zip(full_edge.caches(), solo_edge.caches()):
+            assert set(full_cache.keys()) == set(solo_cache.keys())
+
+    def test_warm_repeatable(self, workload):
+        profiles, _, catalogs = workload
+        first = _simulator(profiles, catalogs)
+        second = _simulator(profiles, catalogs)
+        for edge_a, edge_b in zip(first.edges.values(), second.edges.values()):
+            for cache_a, cache_b in zip(edge_a.caches(), edge_b.caches()):
+                assert set(cache_a.keys()) == set(cache_b.keys())
+
+
+class TestBrowserEviction:
+    def test_cap_bounds_tracked_browsers(self, workload, reference):
+        profiles, requests, catalogs = workload
+        capped, records = _run_sequential(
+            profiles, requests, catalogs, max_tracked_browsers=5
+        )
+        assert capped.metrics.evicted_browsers > 0
+        for shard in capped._shards.values():
+            assert len(shard.browsers) <= 5
+        # The uncapped reference saw no evictions.
+        assert reference[0].metrics.evicted_browsers == 0
+
+    def test_cap_still_bit_identical_across_workers(self, workload):
+        profiles, requests, catalogs = workload
+        _, seq_records = _run_sequential(
+            profiles, requests, catalogs, max_tracked_browsers=5
+        )
+        par_sim, par_records, _ = _run_batched(
+            profiles, requests, catalogs, workers=3, batch_size=128, max_tracked_browsers=5
+        )
+        assert par_records == seq_records
+        assert par_sim.metrics.evicted_browsers > 0
+
+
+class TestCounterRng:
+    def test_streams_are_order_independent(self):
+        a_then_b = (counter_rng(3, "request", 1).random(), counter_rng(3, "request", 2).random())
+        b_then_a = (counter_rng(3, "request", 2).random(), counter_rng(3, "request", 1).random())
+        assert a_then_b == tuple(reversed(b_then_a))
+
+    def test_streams_differ_by_key(self):
+        assert counter_rng(3, "request", 1).random() != counter_rng(3, "request", 2).random()
+        assert counter_rng(3, "request", 1).random() != counter_rng(4, "request", 1).random()
+        assert counter_rng(3, "request", 1).random() != counter_rng(3, "warm", 1).random()
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+@given(
+    workers=st.sampled_from([1, 2, 7]),
+    batch_size=st.sampled_from([1, 64, 10**9]),
+    slice_len=st.sampled_from([150, 400]),
+)
+def test_hypothesis_grid_bit_identical(workload, workers, batch_size, slice_len):
+    """Property: any (workers, batch_size, stream prefix) combination
+    reproduces the sequential records exactly."""
+    profiles, requests, catalogs = workload
+    prefix = requests[:slice_len]
+    _, expected = _run_sequential(profiles, prefix, catalogs)
+    _, records, _ = _run_batched(
+        profiles, prefix, catalogs, workers=workers, batch_size=batch_size
+    )
+    assert records == expected
