@@ -23,25 +23,33 @@ cache, so the simulation state factors into independent *shards*, one per
 counter-based stream keyed on the request (or object) itself rather than
 from one sequential generator, so a request's outcome is independent of
 execution order.  :meth:`CdnSimulator.run_batches` exploits both
-properties: with ``workers > 1`` (or ``REPRO_SIM_WORKERS`` set) each
-shard's request queue is served in its own process and the per-shard
-record streams are k-way merged back into the exact sequential order by
-``request_id`` — bit-identical output, mergeable metrics, and a
-:class:`SimStats` record proving where the time went.
+properties: with ``workers > 1`` (or ``REPRO_SIM_WORKERS`` set) the
+request stream is *streamed* through persistent shard workers: the parent
+drains the workload generator incrementally, stamps ids, and feeds
+per-shard bounded dispatch windows (``queue_depth`` requests in flight
+per shard, backpressure otherwise), while an incremental frontier merge
+emits :class:`~repro.trace.batch.RecordBatch` blocks as soon as every
+shard's ``request_id`` frontier has passed the merge head.  Generation
+overlaps simulation, peak resident requests are O(queue_depth × shards)
+instead of O(stream), and the output is still bit-identical to the
+sequential order — with a :class:`SimStats` record proving where the
+time went.
 """
 
 from __future__ import annotations
 
-import heapq
+import multiprocessing
 import os
+import queue as queue_lib
 import time
 import zlib
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
+
+from repro.errors import SimulationError
 
 from repro.cdn.browser import BrowserCache
 from repro.cdn.cache import Cache, CacheStats
@@ -72,6 +80,25 @@ from repro.workload.profiles import SiteProfile
 #: Environment variable supplying the default worker count for
 #: :meth:`CdnSimulator.run_batches` (mirrors ``REPRO_DTW_WORKERS``).
 WORKERS_ENV = "REPRO_SIM_WORKERS"
+
+#: Environment variable supplying the default per-shard dispatch window
+#: (requests in flight per shard) for :meth:`CdnSimulator.run_batches`.
+QUEUE_DEPTH_ENV = "REPRO_SIM_QUEUE_DEPTH"
+
+#: Default per-shard dispatch window: enough to keep a worker busy while
+#: the parent generates the next block, small enough that peak resident
+#: requests stay O(queue_depth × shards) rather than the whole stream.
+DEFAULT_QUEUE_DEPTH = 8192
+
+#: Requests coalesced into one dispatch block when the input stream is
+#: flat; pre-batched input (``merged_request_batches``) keeps its own
+#: block boundaries.
+DISPATCH_BLOCK = 2048
+
+#: Fault-injection hooks for the failure-path tests: a worker raises (or
+#: SIGKILLs itself) when it is about to serve the named request id.
+_FAIL_RID_ENV = "REPRO_SIM_FAIL_REQUEST_ID"
+_KILL_RID_ENV = "REPRO_SIM_KILL_REQUEST_ID"
 
 
 def _flatten_requests(
@@ -174,6 +201,10 @@ class ShardStats:
     #: Time spent serving the shard's queue (its own process's clock when
     #: parallel; accumulated dispatch time when sequential).
     wall_seconds: float
+    #: High-water mark of requests in flight to the shard's worker at any
+    #: one moment (bounded by ``queue_depth`` in the streaming dispatcher;
+    #: 0 on the sequential path, which never queues).
+    queue_peak: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -190,6 +221,18 @@ class SimStats:
     records: int
     wall_seconds: float
     shards: tuple[ShardStats, ...]
+    #: Time spent inside the request source (the workload generator) while
+    #: draining it — the cost the streaming dispatcher overlaps with
+    #: simulation.
+    generate_seconds: float = 0.0
+    #: Fraction of ``generate_seconds`` spent while at least one dispatched
+    #: request was in flight to a worker (0.0 on the sequential path, where
+    #: generation and serving strictly alternate).
+    overlap_fraction: float = 0.0
+    #: High-water mark of requests resident in the dispatcher at once
+    #: (staged block plus all in-flight dispatch windows) — the memory
+    #: bound the bounded queues buy, compared against the stream length.
+    peak_resident_requests: int = 0
 
     @property
     def records_per_sec(self) -> float:
@@ -488,36 +531,204 @@ class SimulatorShard:
 
 
 def _serve_shard_queue(
-    shard: SimulatorShard, queued: list[Request], batch_size: int
-) -> tuple[SimulatorShard, list[RecordBatch], list[np.ndarray], float]:
-    """Worker-process entry: serve a shard's queue, return it mutated.
+    worker_id: int,
+    shards: dict[tuple[str, int], SimulatorShard],
+    in_queue,
+    out_queue,
+) -> None:
+    """Persistent worker-process loop: serve dispatched chunks until EOF.
 
-    Records come back as column-only batches plus the per-record
-    ``request_id`` arrays the parent needs for the k-way merge; the shard
-    itself comes back whole so the parent holds exactly the state a
-    sequential run would have left.
+    The worker owns a fixed subset of shards.  Messages on ``in_queue``
+    are ``(shard_key, seq, [Request, ...])`` chunks — FIFO per shard, so
+    serving them in arrival order is exactly the sequential computation —
+    or ``None`` to finish.  Each served chunk is acknowledged on
+    ``out_queue`` as a column-only :class:`RecordBatch` plus the
+    per-record ``request_id`` array the parent's frontier merge needs; at
+    EOF the worker ships every shard it mutated back whole, so the parent
+    can adopt exactly the state a sequential run would have left.
     """
-    start = time.perf_counter()
-    builder = BatchBuilder()
-    rids: list[int] = []
-    batches: list[RecordBatch] = []
-    rid_arrays: list[np.ndarray] = []
+    fail_rid = int(os.environ.get(_FAIL_RID_ENV, "-1") or "-1")
+    kill_rid = int(os.environ.get(_KILL_RID_ENV, "-1") or "-1")
+    busy = {key: 0.0 for key in shards}
+    touched: set[tuple[str, int]] = set()
+    while True:
+        message = in_queue.get()
+        if message is None:
+            break
+        key, seq, chunk = message
+        shard = shards[key]
+        start = time.perf_counter()
+        builder = BatchBuilder()
+        rids: list[int] = []
+        try:
+            for request in chunk:
+                if request.request_id == kill_rid:
+                    os.kill(os.getpid(), 9)  # injected hard crash (tests)
+                if request.request_id == fail_rid:
+                    raise RuntimeError(f"injected worker failure at request {fail_rid}")
+                for record in shard.process(request):
+                    builder.append(record)
+                    rids.append(request.request_id)
+        except Exception as exc:
+            out_queue.put(("error", worker_id, key, f"{type(exc).__name__}: {exc}"))
+            return
+        busy[key] += time.perf_counter() - start
+        touched.add(key)
+        batch = builder.finish().drop_records() if len(builder) else None
+        out_queue.put(
+            ("result", worker_id, key, seq, batch, np.asarray(rids, dtype=np.int64), len(chunk))
+        )
+    out_queue.put(("done", worker_id, {key: shards[key] for key in touched}, busy))
 
-    def flush() -> None:
-        nonlocal builder, rids
-        if len(builder):
-            batches.append(builder.finish().drop_records())
-            rid_arrays.append(np.asarray(rids, dtype=np.int64))
-            builder, rids = BatchBuilder(), []
 
-    for request in queued:
-        for record in shard.process(request):
-            builder.append(record)
-            rids.append(request.request_id)
-            if len(builder) >= batch_size:
-                flush()
-    flush()
-    return shard, batches, rid_arrays, time.perf_counter() - start
+class _ShardChannel:
+    """Parent-side dispatch window of one shard: bounded in-flight requests.
+
+    ``pending`` tracks the dispatched-but-unacknowledged chunks in FIFO
+    order; its head is the shard's *frontier* — the largest request id the
+    shard is known to be complete through.  The dispatcher refuses to push
+    past ``queue_depth`` in-flight requests, which is both the
+    backpressure bound and what keeps the frontier (and therefore the
+    merge head) advancing.
+    """
+
+    __slots__ = ("key", "worker_id", "pending", "inflight", "dispatched", "records", "queue_peak", "next_seq")
+
+    def __init__(self, key: tuple[str, int], worker_id: int):
+        self.key = key
+        self.worker_id = worker_id
+        self.pending: deque[tuple[int, int, int]] = deque()  # (seq, first_rid, count)
+        self.inflight = 0
+        self.dispatched = 0
+        self.records = 0
+        self.queue_peak = 0
+        self.next_seq = 0
+
+    def frontier(self, produced_through: int) -> int:
+        """Largest id such that no record with id ≤ it can still arrive.
+
+        With chunks pending, that is one before the oldest pending chunk's
+        first id (FIFO acknowledgement means everything earlier is in).
+        With nothing pending, any future dispatch can only carry ids the
+        producer has not stamped yet, so the produced-through id bounds it.
+        """
+        if self.pending:
+            return self.pending[0][1] - 1
+        return produced_through
+
+    def dispatch(self, first_rid: int, count: int) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        self.pending.append((seq, first_rid, count))
+        self.inflight += count
+        self.dispatched += count
+        if self.inflight > self.queue_peak:
+            self.queue_peak = self.inflight
+        return seq
+
+    def ack(self, seq: int, count: int) -> None:
+        if not self.pending or self.pending[0][0] != seq:
+            raise SimulationError(
+                f"shard {self.key} acknowledged chunk {seq} out of FIFO order"
+            )
+        self.pending.popleft()
+        self.inflight -= count
+
+
+class _FrontierMerger:
+    """Incremental k-way merge of per-shard ``(request_id, record)`` streams.
+
+    Each shard's stream arrives in non-decreasing request-id order and the
+    per-shard id sets are disjoint, so repeatedly emitting the globally
+    smallest buffered id — but never past the *bound* (the id through
+    which every shard's stream is known complete, see
+    :meth:`_ShardChannel.frontier`) — reproduces the sequential emission
+    order exactly, including a playback request's contiguous multi-record
+    run (equal ids are drained from one shard before re-scanning).
+    """
+
+    def __init__(self, keys: Iterable[tuple[str, int]]):
+        self._buffers: dict[tuple[str, int], deque[tuple[int, LogRecord]]] = {
+            key: deque() for key in keys
+        }
+        self.buffered = 0
+
+    def push(self, key: tuple[str, int], rids: list[int], records: Iterable[LogRecord]) -> None:
+        buffer = self._buffers[key]
+        for pair in zip(rids, records):
+            buffer.append(pair)
+        self.buffered += len(rids)
+
+    def emit(self, bound: int) -> Iterator[LogRecord]:
+        """Every buffered record with id ≤ ``bound``, in global id order."""
+        buffers = self._buffers
+        while True:
+            best_key: tuple[str, int] | None = None
+            best_rid = -1
+            for key, buffer in buffers.items():
+                if buffer and buffer[0][0] <= bound and (best_key is None or buffer[0][0] < best_rid):
+                    best_key, best_rid = key, buffer[0][0]
+            if best_key is None:
+                return
+            buffer = buffers[best_key]
+            while buffer and buffer[0][0] == best_rid:
+                self.buffered -= 1
+                yield buffer.popleft()[1]
+
+
+class _BatchEmitter:
+    """Re-blocks the merged record stream into ``batch_size`` batches."""
+
+    def __init__(self, batch_size: int):
+        self._builder = BatchBuilder()
+        self._batch_size = batch_size
+
+    def add(self, record: LogRecord) -> RecordBatch | None:
+        self._builder.append(record)
+        if len(self._builder) >= self._batch_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> RecordBatch | None:
+        if not len(self._builder):
+            return None
+        batch = self._builder.finish()
+        self._builder = BatchBuilder()
+        return batch
+
+
+class _TimedIterator:
+    """Times how long the underlying source takes to produce each item.
+
+    ``busy_probe`` reports whether simulation work was in flight while an
+    item was being produced; the overlapped share of the generation time
+    is the serialisation the streaming dispatcher removed.
+    """
+
+    def __init__(self, iterable: Iterable, busy_probe: Callable[[], bool] | None = None):
+        self._iterator = iter(iterable)
+        self._busy_probe = busy_probe
+        self.seconds = 0.0
+        self.overlapped_seconds = 0.0
+
+    def __iter__(self) -> "_TimedIterator":
+        return self
+
+    def __next__(self):
+        start = time.perf_counter()
+        try:
+            return next(self._iterator)
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds += elapsed
+            if self._busy_probe is not None and self._busy_probe():
+                self.overlapped_seconds += elapsed
+
+    @property
+    def overlap_fraction(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.overlapped_seconds / self.seconds
 
 
 class CdnSimulator:
@@ -637,6 +848,7 @@ class CdnSimulator:
         requests: Iterable[Request] | Iterable[list[Request]],
         batch_size: int = DEFAULT_BATCH_SIZE,
         workers: int | None = None,
+        queue_depth: int | None = None,
     ) -> Iterator[RecordBatch]:
         """Process requests and yield columnar :class:`RecordBatch` blocks.
 
@@ -646,18 +858,38 @@ class CdnSimulator:
         emitted records are identical to :meth:`run`'s.  This is the
         production path into :meth:`repro.core.dataset.TraceDataset.from_batches`.
 
-        ``workers`` above 1 (default: ``REPRO_SIM_WORKERS``, else 1) serves
-        each shard's queue in its own process and k-way merges the shard
-        streams back by ``request_id`` — the output is bit-identical to the
-        sequential path for any worker count and batch size, and the
-        merged metrics match exactly.  :attr:`sim_stats` is populated once
-        the returned iterator is exhausted.
+        ``workers`` above 1 (default: ``REPRO_SIM_WORKERS``, else 1) runs
+        the streaming dispatcher: the request source is drained
+        incrementally and fed to persistent per-shard worker processes
+        through bounded dispatch windows of ``queue_depth`` requests each
+        (default: ``REPRO_SIM_QUEUE_DEPTH``, else ``DEFAULT_QUEUE_DEPTH``),
+        so workload generation overlaps simulation and peak resident
+        requests stay O(queue_depth × shards) instead of the whole stream.
+        An incremental frontier merge re-emits the per-shard record
+        streams in global ``request_id`` order — the output is
+        bit-identical to the sequential path for any worker count, batch
+        size and queue depth, and the merged metrics match exactly.
+
+        Exhaustion contract: the returned iterator is lazy.
+        :attr:`sim_stats` is reset to ``None`` up front and populated only
+        when the iterator is exhausted; abandoning a partially-consumed
+        iterator leaves it ``None`` (never a previous run's statistics)
+        and, on the parallel path, tears the worker processes down without
+        adopting any shard state.  If a worker raises or dies the iterator
+        raises :class:`~repro.errors.SimulationError` naming the failing
+        shard, and the simulator's shards are left exactly as before the
+        call, so a retry starts from a consistent state.
         """
         if workers is None:
             workers = int(os.environ.get(WORKERS_ENV, "1") or 1)
         workers = max(1, workers)
+        if queue_depth is None:
+            queue_depth = int(os.environ.get(QUEUE_DEPTH_ENV, "0") or 0) or DEFAULT_QUEUE_DEPTH
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.sim_stats = None
         if workers > 1:
-            return self._run_batches_parallel(requests, batch_size, workers)
+            return self._run_batches_parallel(requests, batch_size, workers, queue_depth)
         return self._run_batches_sequential(requests, batch_size)
 
     def warm(self, catalogs: Iterable) -> int:
@@ -700,11 +932,24 @@ class CdnSimulator:
             for obj in admitted:
                 if all(cache.used_bytes >= budgets[id(cache)] for cache in edge.caches()):
                     break
+                chunks = edge.chunker.all_chunks(obj)
+                # Whole-object admission: the object's entire chunk
+                # footprint must fit the remaining budgets, or none of it
+                # goes in — a half-warmed multi-chunk object would start
+                # the trace with the mixed hit/miss streams the per-object
+                # admission draw exists to prevent.
+                footprint: dict[int, int] = {}
+                for chunk in chunks:
+                    cache_id = id(edge.cache_for(chunk.size))
+                    footprint[cache_id] = footprint.get(cache_id, 0) + chunk.size
+                if any(
+                    cache.used_bytes + footprint.get(id(cache), 0) > budgets[id(cache)]
+                    for cache in edge.caches()
+                ):
+                    continue
                 ttl = edge._ttl_for(obj)
-                for chunk in edge.chunker.all_chunks(obj):
+                for chunk in chunks:
                     cache = edge.cache_for(chunk.size)
-                    if cache.used_bytes + chunk.size > budgets[id(cache)]:
-                        break
                     # Version 1 matches the origin's initial version, so the
                     # warm entries revalidate cleanly until content mutates.
                     if cache.insert(chunk.key, chunk.size, 0.0, ttl=ttl, version=1):
@@ -758,23 +1003,54 @@ class CdnSimulator:
                 self._next_request_id = max(self._next_request_id, request.request_id + 1)
             yield request
 
+    def _request_blocks(self, source: Iterable) -> Iterator[list[Request]]:
+        """Identified dispatch blocks from a flat or pre-batched stream.
+
+        Pre-batched input (lists, e.g. ``merged_request_batches``) keeps
+        its own block boundaries; flat requests are coalesced into
+        ``DISPATCH_BLOCK``-sized blocks.  Ids are stamped in stream order
+        either way, so blocking changes nothing about the output.
+        """
+        staging: list[Request] = []
+        for item in source:
+            if isinstance(item, list):
+                if staging:
+                    yield list(self._identified(staging))
+                    staging = []
+                if item:
+                    yield list(self._identified(item))
+            else:
+                staging.append(item)
+                if len(staging) >= DISPATCH_BLOCK:
+                    yield list(self._identified(staging))
+                    staging = []
+        if staging:
+            yield list(self._identified(staging))
+
     def _run_batches_sequential(
         self, requests: Iterable[Request] | Iterable[list[Request]], batch_size: int
     ) -> Iterator[RecordBatch]:
         start = time.perf_counter()
+        source = _TimedIterator(requests)
         queued = {key: 0 for key in self._shards}
         emitted = {key: 0 for key in self._shards}
         busy = {key: 0.0 for key in self._shards}
+        peak_resident = 0
 
         def stream() -> Iterator[LogRecord]:
-            for request in self._identified(_flatten_requests(requests)):
-                key = self._shard_key(request.user)
-                tick = time.perf_counter()
-                records = self._shards[key].process(request)
-                busy[key] += time.perf_counter() - tick
-                queued[key] += 1
-                emitted[key] += len(records)
-                yield from records
+            nonlocal peak_resident
+            for item in source:
+                block = item if isinstance(item, list) else [item]
+                if len(block) > peak_resident:
+                    peak_resident = len(block)
+                for request in self._identified(block):
+                    key = self._shard_key(request.user)
+                    tick = time.perf_counter()
+                    records = self._shards[key].process(request)
+                    busy[key] += time.perf_counter() - tick
+                    queued[key] += 1
+                    emitted[key] += len(records)
+                    yield from records
 
         yield from iter_record_batches(stream(), batch_size=batch_size)
         self.sim_stats = self._build_stats(
@@ -783,6 +1059,9 @@ class CdnSimulator:
             queued=queued,
             emitted=emitted,
             busy=busy,
+            generate_seconds=source.seconds,
+            overlap_fraction=0.0,
+            peak_resident_requests=peak_resident,
         )
 
     def _run_batches_parallel(
@@ -790,47 +1069,194 @@ class CdnSimulator:
         requests: Iterable[Request] | Iterable[list[Request]],
         batch_size: int,
         workers: int,
+        queue_depth: int,
     ) -> Iterator[RecordBatch]:
+        """Streaming producer/consumer dispatch over persistent shard workers.
+
+        The parent drains the request source block by block, partitions
+        each block by shard, and dispatches chunks of at most
+        ``queue_depth`` requests into each shard's bounded window —
+        blocking (and meanwhile draining worker results) when a window is
+        full.  Worker acknowledgements advance the per-shard frontiers;
+        the frontier merge emits every record whose id all shards have
+        passed, re-blocked into ``batch_size`` batches.  Mutated shards
+        are adopted back only after every worker finished cleanly, so a
+        failure leaves the simulator exactly as before the call.
+        """
         start = time.perf_counter()
-        partitions: dict[tuple[str, int], list[Request]] = {key: [] for key in self._shards}
-        for request in self._identified(_flatten_requests(requests)):
-            partitions[self._shard_key(request.user)].append(request)
-        tasks = [(key, queued) for key, queued in partitions.items() if queued]
+        keys = list(self._shards)
+        n_workers = min(workers, len(keys))
+        context = multiprocessing.get_context()
+        in_queues = [context.Queue() for _ in range(n_workers)]
+        out_queue = context.Queue()
+        channels = {key: _ShardChannel(key, index % n_workers) for index, key in enumerate(keys)}
+        processes = []
+        for worker_id in range(n_workers):
+            owned = {key: self._shards[key] for key in keys if channels[key].worker_id == worker_id}
+            processes.append(
+                context.Process(
+                    target=_serve_shard_queue,
+                    args=(worker_id, owned, in_queues[worker_id], out_queue),
+                    daemon=True,
+                )
+            )
 
-        results: dict[tuple[str, int], tuple] = {}
-        if tasks:
-            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-                futures = {
-                    pool.submit(_serve_shard_queue, self._shards[key], queued, batch_size): key
-                    for key, queued in tasks
-                }
-                for future in as_completed(futures):
-                    results[futures[future]] = future.result()
+        merger = _FrontierMerger(keys)
+        emitter = _BatchEmitter(batch_size)
+        total_inflight = 0
+        produced_through = -1
+        peak_resident = 0
+        done_workers: set[int] = set()
+        adopted: dict[tuple[str, int], SimulatorShard] = {}
+        worker_busy: dict[tuple[str, int], float] = {key: 0.0 for key in keys}
+        # Acked-but-unemittable records are bounded too: when a slow shard
+        # holds the frontier back this far, production stalls until it acks.
+        buffer_cap = 4 * queue_depth * len(keys)
 
-        queued_counts = {key: len(q) for key, q in partitions.items()}
-        emitted = {key: 0 for key in self._shards}
-        busy = {key: 0.0 for key in self._shards}
-        streams = []
-        for key, _ in tasks:
-            shard, batches, rid_arrays, shard_seconds = results[key]
-            # The worker's mutated shard replaces the stale parent copy, so
+        def bound() -> int:
+            head = produced_through
+            for channel in channels.values():
+                frontier = channel.frontier(produced_through)
+                if frontier < head:
+                    head = frontier
+            return head
+
+        def handle(message) -> None:
+            nonlocal total_inflight
+            kind = message[0]
+            if kind == "result":
+                _, _, key, seq, batch, rids, count = message
+                channel = channels[key]
+                channel.ack(seq, count)
+                total_inflight -= count
+                if batch is not None:
+                    channel.records += len(batch)
+                    merger.push(key, rids.tolist(), batch.iter_records())
+            elif kind == "done":
+                _, worker_id, shards, busy = message
+                done_workers.add(worker_id)
+                adopted.update(shards)
+                worker_busy.update(busy)
+            else:  # "error"
+                _, worker_id, key, text = message
+                raise SimulationError(
+                    f"simulation worker {worker_id} failed serving shard "
+                    f"{self._shards[key].shard_id}: {text}; no shard state was "
+                    "adopted — the simulator is unchanged and a retry is safe"
+                )
+
+        def drain(block: bool) -> None:
+            """Handle queued worker messages; when ``block``, wait for one."""
+            handled = False
+            while True:
+                try:
+                    if block and not handled:
+                        message = out_queue.get(timeout=0.05)
+                    else:
+                        message = out_queue.get_nowait()
+                except queue_lib.Empty:
+                    if not block or handled:
+                        return
+                    dead = [
+                        worker_id
+                        for worker_id in range(n_workers)
+                        if worker_id not in done_workers and not processes[worker_id].is_alive()
+                    ]
+                    if not dead:
+                        continue
+                    # A worker died without reporting; give its last
+                    # messages one grace period to surface, then fail
+                    # without adopting anything.
+                    try:
+                        message = out_queue.get(timeout=0.5)
+                    except queue_lib.Empty:
+                        shard_ids = ", ".join(
+                            self._shards[key].shard_id
+                            for key in keys
+                            if channels[key].worker_id in dead
+                        )
+                        raise SimulationError(
+                            f"simulation worker(s) {dead} died serving shard(s) "
+                            f"[{shard_ids}]; no shard state was adopted — the "
+                            "simulator is unchanged and a retry is safe"
+                        ) from None
+                handle(message)
+                handled = True
+
+        def emit_ready() -> Iterator[RecordBatch]:
+            for record in merger.emit(bound()):
+                batch = emitter.add(record)
+                if batch is not None:
+                    yield batch
+
+        try:
+            for process in processes:
+                process.start()
+            source = _TimedIterator(requests, busy_probe=lambda: total_inflight > 0)
+            for block in self._request_blocks(source):
+                if total_inflight + len(block) > peak_resident:
+                    peak_resident = total_inflight + len(block)
+                partitions: dict[tuple[str, int], list[Request]] = {}
+                for request in block:
+                    partitions.setdefault(self._shard_key(request.user), []).append(request)
+                for key, part in partitions.items():
+                    channel = channels[key]
+                    for offset in range(0, len(part), queue_depth):
+                        piece = part[offset : offset + queue_depth]
+                        while channel.inflight + len(piece) > queue_depth:
+                            drain(block=True)
+                            yield from emit_ready()
+                        seq = channel.dispatch(piece[0].request_id, len(piece))
+                        total_inflight += len(piece)
+                        in_queues[channel.worker_id].put((key, seq, piece))
+                # Only now is every id in the block dispatched: an
+                # idle shard's frontier may advance this far, no further
+                # — mid-block it would overstate what the shard has seen.
+                produced_through = block[-1].request_id
+                drain(block=False)
+                yield from emit_ready()
+                while merger.buffered > buffer_cap and total_inflight > 0:
+                    drain(block=True)
+                    yield from emit_ready()
+            while total_inflight > 0:
+                drain(block=True)
+                yield from emit_ready()
+            for in_queue in in_queues:
+                in_queue.put(None)
+            while len(done_workers) < n_workers:
+                drain(block=True)
+            # Every worker finished cleanly: adopt the mutated shards, so
             # caches/browsers/metrics match a sequential run exactly.
-            self._shards[key] = shard
-            emitted[key] = sum(len(batch) for batch in batches)
-            busy[key] = shard_seconds
-            streams.append(_rid_record_stream(batches, rid_arrays))
-
-        # Disjoint, stream-ordered id sets per shard: merging by id
-        # reproduces the sequential emission order exactly.
-        merged = heapq.merge(*streams, key=lambda pair: pair[0])
-        yield from iter_record_batches((record for _, record in merged), batch_size=batch_size)
-        self.sim_stats = self._build_stats(
-            workers=min(workers, len(tasks)) if tasks else 1,
-            wall_seconds=time.perf_counter() - start,
-            queued=queued_counts,
-            emitted=emitted,
-            busy=busy,
-        )
+            for key, shard in adopted.items():
+                self._shards[key] = shard
+            yield from emit_ready()
+            tail = emitter.flush()
+            if tail is not None:
+                yield tail
+            for process in processes:
+                process.join(timeout=5)
+            self.sim_stats = self._build_stats(
+                workers=n_workers,
+                wall_seconds=time.perf_counter() - start,
+                queued={key: channels[key].dispatched for key in keys},
+                emitted={key: channels[key].records for key in keys},
+                busy=worker_busy,
+                queue_peaks={key: channels[key].queue_peak for key in keys},
+                generate_seconds=source.seconds,
+                overlap_fraction=source.overlap_fraction,
+                peak_resident_requests=peak_resident,
+            )
+        finally:
+            for in_queue in in_queues:
+                in_queue.cancel_join_thread()
+                in_queue.close()
+            out_queue.cancel_join_thread()
+            out_queue.close()
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=2)
 
     def _build_stats(
         self,
@@ -839,6 +1265,10 @@ class CdnSimulator:
         queued: dict[tuple[str, int], int],
         emitted: dict[tuple[str, int], int],
         busy: dict[tuple[str, int], float],
+        queue_peaks: dict[tuple[str, int], int] | None = None,
+        generate_seconds: float = 0.0,
+        overlap_fraction: float = 0.0,
+        peak_resident_requests: int = 0,
     ) -> SimStats:
         shards = tuple(
             ShardStats(
@@ -846,6 +1276,7 @@ class CdnSimulator:
                 queue_depth=queued[key],
                 records=emitted[key],
                 wall_seconds=busy[key],
+                queue_peak=0 if queue_peaks is None else queue_peaks[key],
             )
             for key in self._shards
         )
@@ -855,15 +1286,10 @@ class CdnSimulator:
             records=sum(emitted.values()),
             wall_seconds=wall_seconds,
             shards=shards,
+            generate_seconds=generate_seconds,
+            overlap_fraction=overlap_fraction,
+            peak_resident_requests=peak_resident_requests,
         )
-
-
-def _rid_record_stream(
-    batches: list[RecordBatch], rid_arrays: list[np.ndarray]
-) -> Iterator[tuple[int, LogRecord]]:
-    """(request_id, record) pairs of one shard's output, in shard order."""
-    for batch, rids in zip(batches, rid_arrays):
-        yield from zip(rids.tolist(), batch.iter_records())
 
 
 @dataclass

@@ -46,6 +46,17 @@ def _add_sim_workers(parser: argparse.ArgumentParser) -> None:
             "else 1); output is bit-identical for any value"
         ),
     )
+    parser.add_argument(
+        "--sim-queue-depth",
+        type=int,
+        default=None,
+        help=(
+            "max in-flight requests per simulation shard before the "
+            "producer blocks (default: REPRO_SIM_QUEUE_DEPTH, else 8192); "
+            "bounds peak resident requests, output is bit-identical for "
+            "any value"
+        ),
+    )
 
 
 def _print_sim_stats(simulator) -> None:
@@ -57,13 +68,22 @@ def _print_sim_stats(simulator) -> None:
         f"({stats.records_per_sec:,.0f} records/s, workers={stats.workers}, "
         f"ideal speedup {stats.ideal_speedup:.2f}x)"
     )
+    if stats.workers > 1:
+        print(
+            f"  overlap: generation {stats.generate_seconds:.2f}s, "
+            f"{stats.overlap_fraction:.0%} overlapped with simulation, "
+            f"peak resident {stats.peak_resident_requests} requests"
+        )
     for shard in stats.shards:
         if shard.queue_depth == 0:
             continue
-        print(
+        line = (
             f"  shard {shard.shard_id}: {shard.queue_depth} queued, "
             f"{shard.records} records, {shard.wall_seconds:.2f}s busy"
         )
+        if shard.queue_peak:
+            line += f", queue peak {shard.queue_peak}"
+        print(line)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -203,6 +223,7 @@ def _ingest_bench(args: argparse.Namespace) -> int:
                 generator.merged_request_batches(workloads),
                 batch_size=args.batch_size,
                 workers=args.sim_workers,
+                queue_depth=args.sim_queue_depth,
             )
         )
         source = f"simulate(seed={args.seed}, scale={args.scale})"
@@ -313,7 +334,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "generate":
         written = generate_trace_file(
-            args.out, seed=args.seed, scale=scale, sim_workers=args.sim_workers
+            args.out,
+            seed=args.seed,
+            scale=scale,
+            sim_workers=args.sim_workers,
+            sim_queue_depth=args.sim_queue_depth,
         )
         print(f"wrote {written} records to {args.out}")
         return 0
@@ -326,7 +351,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed + 1,
         )
         result = run_pipeline(
-            seed=args.seed, scale=scale, sim_config=config, sim_workers=args.sim_workers
+            seed=args.seed,
+            scale=scale,
+            sim_config=config,
+            sim_workers=args.sim_workers,
+            sim_queue_depth=args.sim_queue_depth,
         )
         metrics = result.simulator.metrics
         print(f"policy={args.policy} capacity={args.capacity_gb:.0f}GB requests={metrics.total_requests}")

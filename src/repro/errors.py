@@ -56,6 +56,17 @@ class CachePolicyError(CdnError):
     """A cache policy was misconfigured (e.g. non-positive capacity)."""
 
 
+class SimulationError(CdnError):
+    """A parallel simulation run failed in a worker process.
+
+    Raised by :meth:`repro.cdn.simulator.CdnSimulator.run_batches` when a
+    shard worker raises or dies.  The message names the failing worker and
+    shard; no mutated shard state is adopted back into the simulator, so
+    the parent's shards are exactly the pre-run state and a retry starts
+    from a consistent simulator.
+    """
+
+
 class RoutingError(CdnError):
     """No data center could serve a request."""
 

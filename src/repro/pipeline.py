@@ -56,6 +56,7 @@ def run_pipeline(
     sim_config: SimulationConfig | None = None,
     keep_store: bool = True,
     sim_workers: int | None = None,
+    sim_queue_depth: int | None = None,
 ) -> PipelineResult:
     """Generate a synthetic week of adult-CDN traffic and index it.
 
@@ -68,8 +69,11 @@ def run_pipeline(
     the accumulator ingest and keeps only aggregates (``result.batches``
     is then empty and ``result.records`` unavailable).  ``sim_workers``
     above 1 (default: the ``REPRO_SIM_WORKERS`` environment variable)
-    serves the simulation shards in parallel processes; the emitted trace
-    is bit-identical either way.
+    serves the simulation shards in parallel worker processes that run
+    while the workload generator is still producing requests, with
+    ``sim_queue_depth`` (default: ``REPRO_SIM_QUEUE_DEPTH``) bounding
+    each shard's in-flight window; the emitted trace is bit-identical
+    either way.
     """
     profiles = profiles if profiles is not None else ALL_PROFILES()
     scale = scale or ScaleConfig.small()
@@ -84,7 +88,9 @@ def run_pipeline(
     if sim_config.warm_caches:
         simulator.warm(w.catalog for w in workloads.values())
     batch_stream = simulator.run_batches(
-        generator.merged_request_batches(workloads), workers=sim_workers
+        generator.merged_request_batches(workloads),
+        workers=sim_workers,
+        queue_depth=sim_queue_depth,
     )
     if keep_store:
         batches = list(batch_stream)
@@ -116,7 +122,14 @@ def generate_trace_file(
     scale: ScaleConfig | None = None,
     profiles: tuple[SiteProfile, ...] | None = None,
     sim_workers: int | None = None,
+    sim_queue_depth: int | None = None,
 ) -> int:
     """Generate a trace and write it to ``path``; returns records written."""
-    result = run_pipeline(seed=seed, scale=scale, profiles=profiles, sim_workers=sim_workers)
+    result = run_pipeline(
+        seed=seed,
+        scale=scale,
+        profiles=profiles,
+        sim_workers=sim_workers,
+        sim_queue_depth=sim_queue_depth,
+    )
     return write_trace_batches(result.batches, path)

@@ -150,34 +150,48 @@ class WorkloadGenerator:
                 results[workload.profile.name] = workload
         return results
 
-    def merged_requests(self, workloads: dict[str, SiteWorkload] | None = None) -> Iterator[Request]:
+    def merged_requests(
+        self,
+        workloads: dict[str, SiteWorkload] | None = None,
+        start_request_id: int = 0,
+    ) -> Iterator[Request]:
         """All sites' requests merged into one global time order.
 
         The CDN simulator consumes this stream so that shared edge caches
         see cross-site interleaving, as a real CDN does.  Each merged
-        request is stamped with its position as ``request_id`` — the
-        stable key the simulator's counter-based RNG and shard-parallel
-        merge are built on.
+        request is stamped with its position (offset by
+        ``start_request_id``) as ``request_id`` — the stable key the
+        simulator's counter-based RNG and shard-parallel merge are built
+        on.  The stream is lazy: requests are stamped as they are drawn,
+        so a streaming consumer (the simulator's producer/consumer
+        dispatcher) overlaps generation with its own work instead of
+        waiting for the whole stream.  ``start_request_id`` lets a
+        resumed or segmented run continue the id sequence where a
+        previous stream stopped, keeping the per-request RNG keys stable
+        across the seam.
         """
         if workloads is None:
             workloads = self.generate_all()
         merged = heapq.merge(*(w.requests for w in workloads.values()), key=lambda r: r.timestamp)
-        for request_id, request in enumerate(merged):
+        for request_id, request in enumerate(merged, start=start_request_id):
             yield replace(request, request_id=request_id)
 
     def merged_request_batches(
         self,
         workloads: dict[str, SiteWorkload] | None = None,
         batch_size: int = 8192,
+        start_request_id: int = 0,
     ) -> Iterator[list[Request]]:
         """The merged request stream chunked into time-ordered lists.
 
         The batch-oriented simulator entry point
         (:meth:`repro.cdn.simulator.CdnSimulator.run_batches`) consumes
         these; the chunking changes nothing about the stream's order.
+        Like :meth:`merged_requests` this is lazy (one ``batch_size``
+        block resident at a time) and resumable via ``start_request_id``.
         """
         block: list[Request] = []
-        for request in self.merged_requests(workloads):
+        for request in self.merged_requests(workloads, start_request_id=start_request_id):
             block.append(request)
             if len(block) >= batch_size:
                 yield block

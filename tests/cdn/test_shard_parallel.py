@@ -53,9 +53,19 @@ def _run_sequential(profiles, requests, catalogs, **overrides):
     return simulator, records
 
 
-def _run_batched(profiles, requests, catalogs, workers, batch_size, **overrides):
+def _run_batched(
+    profiles, requests, catalogs, workers, batch_size, queue_depth=None, chunked=None, **overrides
+):
     simulator = _simulator(profiles, catalogs, **overrides)
-    batches = list(simulator.run_batches(iter(requests), batch_size=batch_size, workers=workers))
+    if chunked is not None:
+        source = iter([requests[i : i + chunked] for i in range(0, len(requests), chunked)])
+    else:
+        source = iter(requests)
+    batches = list(
+        simulator.run_batches(
+            source, batch_size=batch_size, workers=workers, queue_depth=queue_depth
+        )
+    )
     records = [record for batch in batches for record in batch.iter_records()]
     return simulator, records, batches
 
@@ -260,6 +270,193 @@ class TestCounterRng:
         assert counter_rng(3, "request", 1).random() != counter_rng(3, "request", 2).random()
         assert counter_rng(3, "request", 1).random() != counter_rng(4, "request", 1).random()
         assert counter_rng(3, "request", 1).random() != counter_rng(3, "warm", 1).random()
+
+
+class TestStreamingDispatch:
+    """The producer/consumer dispatcher: bounded windows, identical output."""
+
+    @pytest.mark.parametrize("workers", [2, 5])
+    @pytest.mark.parametrize("queue_depth", [1, 17, 100_000])
+    def test_queue_depth_grid_bit_identical(self, workload, workers, queue_depth):
+        profiles, requests, catalogs = workload
+        prefix = requests[: 400 if queue_depth == 1 else 1200]
+        _, expected = _run_sequential(profiles, prefix, catalogs)
+        # batch_size 64 > queue_depth 1/17 exercises a dispatch window
+        # smaller than one output batch.
+        _, records, _ = _run_batched(
+            profiles, prefix, catalogs, workers=workers, batch_size=64, queue_depth=queue_depth
+        )
+        assert records == expected
+
+    def test_prebatched_input_bit_identical(self, workload, reference):
+        profiles, requests, catalogs = workload
+        _, expected = reference
+        _, records, _ = _run_batched(
+            profiles, requests, catalogs, workers=3, batch_size=256, queue_depth=50, chunked=100
+        )
+        assert records == expected
+
+    def test_peak_resident_bounded_by_queue_depth(self, workload, reference):
+        profiles, requests, catalogs = workload
+        _, expected = reference
+        simulator, records, _ = _run_batched(
+            profiles, requests, catalogs, workers=3, batch_size=256, queue_depth=32, chunked=100
+        )
+        assert records == expected
+        stats = simulator.sim_stats
+        n_shards = len(simulator._shards)
+        # At most one staged producer block plus a full window per shard.
+        assert 0 < stats.peak_resident_requests <= 32 * n_shards + 100
+        assert stats.peak_resident_requests < len(requests)
+        assert all(shard.queue_peak <= 32 for shard in stats.shards)
+        assert any(shard.queue_peak > 0 for shard in stats.shards)
+        assert stats.generate_seconds > 0
+        assert 0.0 <= stats.overlap_fraction <= 1.0
+        # The big-window run keeps everything in flight at once.
+        big, _, _ = _run_batched(
+            profiles, requests, catalogs, workers=3, batch_size=256, queue_depth=100_000
+        )
+        assert stats.peak_resident_requests < big.sim_stats.peak_resident_requests
+
+    def test_queue_depth_env_variable(self, workload, monkeypatch):
+        from repro.cdn import simulator as sim_module
+
+        monkeypatch.setenv(sim_module.QUEUE_DEPTH_ENV, "41")
+        profiles, requests, catalogs = workload
+        simulator, _, _ = _run_batched(
+            profiles, requests[:600], catalogs, workers=2, batch_size=128
+        )
+        assert all(shard.queue_peak <= 41 for shard in simulator.sim_stats.shards)
+
+    def test_queue_depth_validated(self, workload):
+        profiles, requests, catalogs = workload
+        simulator = _simulator(profiles, catalogs)
+        with pytest.raises(ValueError):
+            simulator.run_batches(iter(requests), workers=2, queue_depth=0)
+
+
+class TestStaleStats:
+    def test_abandoned_iterator_leaves_stats_none(self, workload):
+        profiles, requests, catalogs = workload
+        for workers in (1, 3):
+            simulator = _simulator(profiles, catalogs)
+            full = list(simulator.run_batches(iter(requests), batch_size=128, workers=workers))
+            assert full and simulator.sim_stats is not None
+            previous = simulator.sim_stats
+            iterator = simulator.run_batches(iter(requests), batch_size=128, workers=workers)
+            # The new run resets the stats before producing anything …
+            assert simulator.sim_stats is None
+            next(iterator)
+            iterator.close()
+            # … and an abandoned iterator never resurrects the old run's.
+            assert simulator.sim_stats is None
+            assert previous is not simulator.sim_stats
+
+
+class TestWorkerFailure:
+    def _expect_consistent_failure(self, workload, env_name, monkeypatch):
+        from repro.errors import SimulationError
+
+        profiles, requests, catalogs = workload
+        simulator = _simulator(profiles, catalogs)
+        victim = requests[120]
+        monkeypatch.setenv(env_name, str(victim.request_id))
+        before = dict(simulator._shards)
+        with pytest.raises(SimulationError) as excinfo:
+            list(simulator.run_batches(iter(requests), batch_size=128, workers=3, queue_depth=64))
+        # No shard state was adopted: every shard object is the parent's
+        # own pre-run instance, so a retry starts from consistent state.
+        assert all(simulator._shards[key] is before[key] for key in before)
+        assert simulator.sim_stats is None
+        assert "no shard state was adopted" in str(excinfo.value)
+        return simulator, victim, str(excinfo.value)
+
+    def test_raising_worker_wrapped_named_and_consistent(self, workload, monkeypatch):
+        from repro.cdn import simulator as sim_module
+
+        simulator, victim, message = self._expect_consistent_failure(
+            workload, sim_module._FAIL_RID_ENV, monkeypatch
+        )
+        shard_id = simulator._shards[simulator._shard_key(victim.user)].shard_id
+        assert shard_id in message
+        assert "injected worker failure" in message
+
+    def test_killed_worker_named_and_consistent(self, workload, monkeypatch):
+        from repro.cdn import simulator as sim_module
+
+        simulator, victim, message = self._expect_consistent_failure(
+            workload, sim_module._KILL_RID_ENV, monkeypatch
+        )
+        assert "died" in message
+        shard_id = simulator._shards[simulator._shard_key(victim.user)].shard_id
+        assert shard_id in message
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_hypothesis_frontier_merge_order(data):
+    """Property: for any shard assignment, chunking, and FIFO-per-shard
+    acknowledgement interleaving, the frontier merge emits every record in
+    global request-id order, never past the emission bound, with a
+    request's multi-record run kept contiguous."""
+    from repro.cdn.simulator import _FrontierMerger, _ShardChannel
+
+    n_shards = data.draw(st.integers(1, 4))
+    n_rids = data.draw(st.integers(1, 50))
+    keys = [("dc", index) for index in range(n_shards)]
+    shard_of = {
+        rid: keys[data.draw(st.integers(0, n_shards - 1))] for rid in range(n_rids)
+    }
+    tokens_of = {rid: data.draw(st.integers(1, 3)) for rid in range(n_rids)}
+
+    channels = {key: _ShardChannel(key, 0) for key in keys}
+    merger = _FrontierMerger(keys)
+    produced_through = n_rids - 1
+
+    # Chunk each shard's rid sequence (order preserved) and dispatch.
+    chunks = {key: [] for key in keys}
+    for key in keys:
+        rids = [rid for rid in range(n_rids) if shard_of[rid] is key]
+        while rids:
+            take = data.draw(st.integers(1, len(rids)))
+            chunk = rids[:take]
+            rids = rids[take:]
+            channels[key].dispatch(chunk[0], len(chunk))
+            chunks[key].append(chunk)
+
+    def bound():
+        return min(channel.frontier(produced_through) for channel in channels.values())
+
+    emitted = []
+    pending_keys = [key for key in keys if chunks[key]]
+    while pending_keys:
+        key = data.draw(st.sampled_from(pending_keys))
+        chunk = chunks[key].pop(0)  # FIFO within a shard, any order across
+        seq = channels[key].pending[0][0]
+        channels[key].ack(seq, len(chunk))
+        rids = [rid for rid in chunk for _ in range(tokens_of[rid])]
+        merger.push(key, rids, ((rid, t) for t, rid in enumerate(rids)))
+        head = bound()
+        for record in merger.emit(head):
+            assert record[0] <= head  # never emits past the bound
+            emitted.append(record)
+        pending_keys = [key for key in keys if chunks[key]]
+
+    emitted.extend(merger.emit(produced_through))
+    assert merger.buffered == 0
+    expected = [
+        (rid, token)
+        for rid in range(n_rids)
+        for token in range(tokens_of[rid])
+    ]
+    # Global id order with each rid's records contiguous and in order —
+    # but token indices restart per chunk, so compare (rid, rank) shape.
+    assert [record[0] for record in emitted] == [pair[0] for pair in expected]
+    last_token: dict[int, int] = {}
+    for rid, token in emitted:
+        if rid in last_token:
+            assert token == last_token[rid] + 1  # within-request order kept
+        last_token[rid] = token
 
 
 @settings(

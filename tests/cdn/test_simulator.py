@@ -105,6 +105,43 @@ class TestWarm:
             for cache in edge.caches():
                 assert cache.used_bytes <= 0.5 * cache.capacity_bytes + 10**8
 
+    def test_warm_admits_chunked_objects_atomically(self):
+        """An object straddling the warm budget must be skipped whole —
+        a half-warmed multi-chunk video would start the trace with the
+        mixed hit/miss stream the per-object admission draw prevents."""
+        from repro.types import TrendClass
+        from repro.workload.catalog import ContentObject
+
+        def obj(object_id, category, extension, size, weight):
+            return ContentObject(
+                object_id=object_id,
+                site="V-2",
+                category=category,
+                extension=extension,
+                size_bytes=size,
+                birth_time=0.0,
+                trend=TrendClass.LONG_LIVED,
+                popularity_weight=weight,
+            )
+
+        image = obj("img", ContentCategory.IMAGE, "jpg", 20_000, 9.0)
+        video1 = obj("vid1", ContentCategory.VIDEO, "mp4", 10_000_000, 5.0)  # 5 chunks
+        video2 = obj("vid2", ContentCategory.VIDEO, "mp4", 10_000_000, 1.0)  # 5 chunks
+        # Budget 0.8 × 20 MB = 16 MB: image + video1 fit (≈10.02 MB),
+        # video2's 10 MB footprint would straddle the boundary.
+        config = SimulationConfig(
+            seed=6, cache_capacity_bytes=20_000_000, split_small_object_cache=False
+        )
+        simulator = CdnSimulator(profiles=(profile_v2(),), config=config)
+        simulator.warm([[image, video1, video2]])
+        for edge in simulator.edges.values():
+            (cache,) = edge.caches()
+            keys = set(cache.keys())
+            assert "img" in keys or "img#c0" in keys
+            assert {f"vid1#c{i}" for i in range(5)} <= keys
+            # Not one chunk of the straddling object was admitted.
+            assert not any(key.startswith("vid2") for key in keys)
+
 
 class TestConfigVariants:
     def _run(self, config: SimulationConfig) -> list:
