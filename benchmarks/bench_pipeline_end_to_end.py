@@ -1,0 +1,101 @@
+"""End-to-end pipeline: one streaming dataflow plan vs the legacy path.
+
+Times the full generate → simulate → ingest → figure battery twice over
+the standard benchmark workload:
+
+* **plan (streaming)** — one :class:`~repro.dataflow.plan.Plan` run with
+  ``keep_store=False``: blocks flow straight from the simulator through
+  the accumulator ingest, nothing materialises the full trace, and the
+  per-stage telemetry reports the honest peak resident rows.
+* **legacy (materialising)** — the pre-dataflow composition: fully
+  ``list()`` the simulated batches, build an eager ``keep_store=True``
+  dataset, then run the study over it.
+
+Both must produce identical study summaries (asserted); wall seconds and
+the peak-resident-rows ratio land in ``BENCH_results.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import BENCH_SEED, print_header, record_extra
+
+from repro.cdn.simulator import CdnSimulator, sized_simulation_config
+from repro.core.dataset import TraceDataset
+from repro.core.report import Study
+from repro.dataflow import Plan, RunConfig
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.scale import ScaleConfig
+
+
+def _legacy_run(scale: ScaleConfig):
+    generator = WorkloadGenerator(scale=scale, seed=BENCH_SEED)
+    workloads = generator.generate_all()
+    catalogs = {name: workload.catalog for name, workload in workloads.items()}
+    sim_config = sized_simulation_config(catalogs.values(), BENCH_SEED)
+    simulator = CdnSimulator(profiles=generator.profiles, config=sim_config)
+    simulator.warm(catalogs.values())
+    batches = list(simulator.run_batches(generator.merged_request_batches(workloads)))
+    dataset = TraceDataset.from_batches(batches)
+    report = Study(run_clustering=False).run(dataset, catalogs=catalogs)
+    peak_rows = len(dataset)  # the whole trace is resident by construction
+    return report, peak_rows
+
+
+def test_pipeline_end_to_end(benchmark):
+    scale = ScaleConfig.from_env(default="small")
+    # A sub-trace batch size so the streaming window is visible even at
+    # tiny scale (batch boundaries provably do not change the output).
+    config = RunConfig.resolve(
+        env={},
+        seed=BENCH_SEED,
+        scale=scale,
+        keep_store=False,
+        run_clustering=False,
+        batch_size=8192,
+    )
+    runs: dict[str, tuple] = {}
+
+    def sweep():
+        start = time.perf_counter()
+        plan_result = Plan(config).generate().simulate().ingest().analyze().run()
+        runs["plan"] = (time.perf_counter() - start, plan_result)
+        start = time.perf_counter()
+        legacy_report, legacy_peak = _legacy_run(scale)
+        runs["legacy"] = (time.perf_counter() - start, legacy_report, legacy_peak)
+        return runs
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    plan_seconds, plan_result = runs["plan"]
+    legacy_seconds, legacy_report, legacy_peak = runs["legacy"]
+    assert plan_result.report is not None
+    assert plan_result.report.to_summary_dict() == legacy_report.to_summary_dict()
+
+    by_name = {s.name: s for s in plan_result.stage_stats}
+    plan_peak = by_name["ingest"].peak_resident_rows
+    total = by_name["ingest"].rows
+    assert plan_peak < total  # streaming never held the whole trace
+
+    print_header(
+        "pipeline_end_to_end",
+        "single-pass streaming plan matches the materialising pipeline bit for bit",
+    )
+    print(f"rows: {total:,}")
+    print(f"plan (streaming, keep_store=False): {plan_seconds:8.2f}s  peak resident {plan_peak:,} rows")
+    print(f"legacy (materialising):             {legacy_seconds:8.2f}s  peak resident {legacy_peak:,} rows")
+    print(f"peak-memory ratio: {legacy_peak / max(1, plan_peak):.1f}x smaller resident set")
+    print(plan_result.render_stats())
+
+    record_extra(
+        "pipeline_end_to_end",
+        rows=total,
+        plan_seconds=round(plan_seconds, 6),
+        legacy_seconds=round(legacy_seconds, 6),
+        plan_peak_resident_rows=plan_peak,
+        legacy_peak_resident_rows=legacy_peak,
+        stage_wall_seconds={
+            s.name: round(s.wall_seconds, 6) for s in plan_result.stage_stats
+        },
+    )

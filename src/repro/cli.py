@@ -1,11 +1,18 @@
 """Command-line interface.
 
-Four subcommands mirror the library's pipeline stages::
+The subcommands mirror the library's dataflow plan::
 
     repro generate  --out trace.csv --seed 0 --scale small
     repro simulate  --policy lru --capacity-gb 40 --seed 0 --scale small
-    repro analyze   --trace trace.csv
-    repro reproduce --seed 0 --scale small        # end to end, full report
+    repro analyze   --trace trace.csv            # or in-process: no --trace
+    repro reproduce --seed 0 --scale small       # end to end, full report
+
+Every knob flag layers over its ``REPRO_*`` environment variable with the
+:class:`~repro.dataflow.config.RunConfig` precedence (default < env <
+flag); flags therefore default to "unset" and the resolved value is what
+runs.  Plan-driven commands print the per-stage telemetry table
+(rows, batches, wall seconds, rows/s, peak resident rows) after their
+output.
 """
 
 from __future__ import annotations
@@ -18,21 +25,26 @@ from repro.cdn.simulator import SimulationConfig
 from repro.cdn.policies import policy_names
 from repro.core.dataset import TraceDataset
 from repro.core.report import Study
-from repro.pipeline import generate_trace_file, run_pipeline, run_study
-from repro.trace.batch import DEFAULT_BATCH_SIZE
-from repro.trace.reader import TraceReader, read_trace
+from repro.dataflow import Plan, RunConfig
+from repro.pipeline import generate_trace_plan, run_pipeline
+from repro.trace.reader import read_trace
 from repro.workload.scale import ScaleConfig
 
 _SCALES = {"tiny": ScaleConfig.tiny, "small": ScaleConfig.small, "medium": ScaleConfig.medium}
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--seed", type=int, default=None, help="master seed (default: REPRO_SEED, else 0)"
+    )
     parser.add_argument(
         "--scale",
         choices=sorted(_SCALES),
-        default="small",
-        help="workload scale relative to the paper's 323 TB week (default small)",
+        default=None,
+        help=(
+            "workload scale relative to the paper's 323 TB week "
+            "(default: REPRO_SCALE, else small)"
+        ),
     )
 
 
@@ -57,6 +69,22 @@ def _add_sim_workers(parser: argparse.ArgumentParser) -> None:
             "any value"
         ),
     )
+
+
+def _config_from_args(args: argparse.Namespace) -> RunConfig:
+    """The run's :class:`RunConfig`: env < CLI flags the command defines."""
+    no_clustering = getattr(args, "no_clustering", False)
+    cli = {
+        "seed": getattr(args, "seed", None),
+        "scale": getattr(args, "scale", None),
+        "batch_size": getattr(args, "batch_size", None),
+        "keep_store": getattr(args, "keep_store", None),
+        "engine": getattr(args, "engine", None),
+        "sim_workers": getattr(args, "sim_workers", None),
+        "sim_queue_depth": getattr(args, "sim_queue_depth", None),
+        "run_clustering": False if no_clustering else None,
+    }
+    return RunConfig.resolve(cli=cli)
 
 
 def _print_sim_stats(simulator) -> None:
@@ -108,30 +136,48 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--capacity-gb", type=float, default=40.0, help="edge cache capacity per DC")
     sim.add_argument("--no-ttl", action="store_true", help="disable trend-aware TTL revalidation")
 
-    ana = sub.add_parser("analyze", help="run the full analysis over an existing trace file")
-    ana.add_argument("--trace", required=True, help="trace file written by `repro generate`")
+    ana = sub.add_parser(
+        "analyze",
+        help=(
+            "run the full analysis: over an existing trace file (--trace) or, "
+            "without one, over an in-process generate→simulate→ingest streaming plan"
+        ),
+    )
+    _add_common(ana)
+    _add_sim_workers(ana)
+    ana.add_argument(
+        "--trace",
+        help=(
+            "trace file written by `repro generate`; omit to generate and "
+            "simulate in-process as one streaming plan"
+        ),
+    )
     ana.add_argument("--no-clustering", action="store_true", help="skip the O(n^2) DTW clustering")
     ana.add_argument("--export-dir", help="also write one CSV per figure into this directory")
     ana.add_argument(
         "--engine",
         choices=("batch", "record"),
-        default="batch",
-        help="ingest engine: columnar batches (default) or the record-at-a-time reference",
+        default=None,
+        help=(
+            "ingest engine: columnar batches (default) or the record-at-a-time "
+            "reference (needs --trace)"
+        ),
     )
     ana.add_argument(
         "--batch-size",
         type=int,
-        default=DEFAULT_BATCH_SIZE,
-        help=f"rows per columnar batch while reading (default {DEFAULT_BATCH_SIZE})",
+        default=None,
+        help="rows per columnar batch (default: REPRO_BATCH_SIZE, else 65536)",
     )
     ana.add_argument(
         "--keep-store",
         action=argparse.BooleanOptionalAction,
-        default=True,
+        default=None,
         help=(
             "retain the columnar row store after ingest (default); "
             "--no-keep-store streams batches through the accumulators and "
-            "keeps only aggregates, bounding memory by one batch (batch engine only)"
+            "keeps only aggregates, bounding memory by one dispatch window "
+            "(batch engine only)"
         ),
     )
 
@@ -144,8 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--simulate",
         action="store_true",
         help=(
-            "end-to-end mode: generate a workload and simulate it in-process "
-            "(timing each stage) instead of reading --trace"
+            "end-to-end mode: run the generate→simulate→ingest streaming plan "
+            "in-process (per-stage telemetry) instead of reading --trace"
         ),
     )
     _add_common(bench)
@@ -153,8 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--batch-size",
         type=int,
-        default=DEFAULT_BATCH_SIZE,
-        help=f"rows per columnar batch (default {DEFAULT_BATCH_SIZE})",
+        default=None,
+        help="rows per columnar batch (default: REPRO_BATCH_SIZE, else 65536)",
     )
     bench.add_argument("--repeat", type=int, default=3, help="timing repetitions (best is kept)")
     bench.add_argument("--results", help="append the measurement to this JSON results file")
@@ -197,47 +243,25 @@ def _ingest_bench(args: argparse.Namespace) -> int:
     import time
     from pathlib import Path
 
+    from repro.trace.reader import TraceReader
+
+    config = _config_from_args(args)
     source = args.trace
     if args.simulate:
-        # End-to-end mode: generate → simulate → ingest, timing each stage.
-        from repro.cdn.simulator import CdnSimulator
-        from repro.pipeline import DEFAULT_CACHE_CATALOG_FRACTION
-        from repro.workload.generator import WorkloadGenerator
-        from repro.workload.profiles import ALL_PROFILES
-
-        scale = _SCALES[args.scale]()
-        profiles = ALL_PROFILES()
-        generator = WorkloadGenerator(profiles=profiles, scale=scale, seed=args.seed)
-        start = time.perf_counter()
-        workloads = generator.generate_all()
-        generate_seconds = time.perf_counter() - start
-        catalog_bytes = sum(w.catalog.total_bytes() for w in workloads.values())
-        capacity = max(200_000_000, int(DEFAULT_CACHE_CATALOG_FRACTION * catalog_bytes))
-        simulator = CdnSimulator(
-            profiles=profiles,
-            config=SimulationConfig(seed=args.seed + 1, cache_capacity_bytes=capacity),
+        # End-to-end mode: the actual streaming plan, stage-timed; the
+        # store is kept so both engines can be re-timed over the batches.
+        plan_result = (
+            Plan(config.replacing(keep_store=True)).generate().simulate().ingest().run()
         )
-        simulator.warm(w.catalog for w in workloads.values())
-        batches = list(
-            simulator.run_batches(
-                generator.merged_request_batches(workloads),
-                batch_size=args.batch_size,
-                workers=args.sim_workers,
-                queue_depth=args.sim_queue_depth,
-            )
-        )
-        source = f"simulate(seed={args.seed}, scale={args.scale})"
-        total_requests = sum(w.request_count for w in workloads.values())
-        print(
-            f"generate: {total_requests} requests over "
-            f"{len(workloads)} sites in {generate_seconds:.2f}s"
-        )
-        _print_sim_stats(simulator)
+        print(plan_result.render_stats())
+        _print_sim_stats(plan_result.simulator)
+        batches = list(plan_result.batches or [])
+        source = f"simulate(seed={config.seed}, scale={config.scale})"
         records = [record for batch in batches for record in batch.iter_records()]
         for batch in batches:
             batch.drop_records()
     elif args.trace:
-        batches = list(TraceReader(args.trace).iter_batches(batch_size=args.batch_size))
+        batches = list(TraceReader(args.trace).iter_batches(batch_size=config.batch_size))
         records = [record for batch in batches for record in batch.iter_records()]
         for batch in batches:
             batch.drop_records()
@@ -260,7 +284,7 @@ def _ingest_bench(args: argparse.Namespace) -> int:
     record_seconds = best_of(lambda: TraceDataset.from_records(records, engine="record"))
     batch_seconds = best_of(lambda: TraceDataset.from_batches(batches))
     speedup = record_seconds / batch_seconds
-    print(f"trace: {source} ({total} records, batch_size={args.batch_size})")
+    print(f"trace: {source} ({total} records, batch_size={config.batch_size})")
     print(f"record engine: {record_seconds:8.3f}s  {total / record_seconds:12,.0f} records/s")
     print(f"batch engine:  {batch_seconds:8.3f}s  {total / batch_seconds:12,.0f} records/s")
     print(f"speedup: {speedup:.1f}x")
@@ -303,7 +327,7 @@ def _ingest_bench(args: argparse.Namespace) -> int:
                 "figure": "ingest_throughput",
                 "trace": str(source),
                 "records": total,
-                "batch_size": args.batch_size,
+                "batch_size": config.batch_size,
                 "record_seconds": round(record_seconds, 6),
                 "batch_seconds": round(batch_seconds, 6),
                 "record_per_s": round(total / record_seconds, 1),
@@ -328,73 +352,91 @@ def _maybe_export(report, export_dir: str | None) -> None:
     print(f"wrote {len(paths)} figure CSVs to {export_dir}")
 
 
+def _analyze(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    if config.engine == "record":
+        if not args.trace:
+            print("analyze --engine record needs --trace FILE")
+            return 2
+        records = read_trace(args.trace, batch_size=config.batch_size)
+        dataset = TraceDataset.from_records(records, engine="record")
+        study = Study(run_clustering=config.run_clustering)
+        report = study.run(dataset)
+        print(report.render_text())
+        _maybe_export(report, args.export_dir)
+        return 0
+    plan = Plan(config)
+    if args.trace:
+        plan.read_trace(args.trace)
+    else:
+        plan.generate().simulate()
+    result = plan.ingest().analyze().run()
+    assert result.report is not None
+    print(result.report.render_text())
+    print(result.render_stats())
+    _maybe_export(result.report, args.export_dir)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    scale = _SCALES[getattr(args, "scale", "small")]() if hasattr(args, "scale") else None
 
     if args.command == "generate":
-        written = generate_trace_file(
+        config = _config_from_args(args)
+        result = generate_trace_plan(
             args.out,
-            seed=args.seed,
-            scale=scale,
-            sim_workers=args.sim_workers,
-            sim_queue_depth=args.sim_queue_depth,
+            seed=config.seed,
+            scale=config.scale,
+            sim_workers=config.sim_workers,
+            sim_queue_depth=config.sim_queue_depth,
         )
-        print(f"wrote {written} records to {args.out}")
+        print(f"wrote {result.rows_written} records to {args.out}")
+        print(result.render_stats())
         return 0
 
     if args.command == "simulate":
-        config = SimulationConfig(
+        config = _config_from_args(args)
+        sim_config = SimulationConfig(
             cache_policy=args.policy,
             cache_capacity_bytes=int(args.capacity_gb * 1e9),
             trend_aware_ttl=not args.no_ttl,
-            seed=args.seed + 1,
+            seed=config.seed + 1,
         )
-        result = run_pipeline(
-            seed=args.seed,
-            scale=scale,
-            sim_config=config,
-            sim_workers=args.sim_workers,
-            sim_queue_depth=args.sim_queue_depth,
-        )
+        result = Plan(config).generate().simulate(sim_config).run()
+        assert result.simulator is not None
         metrics = result.simulator.metrics
         print(f"policy={args.policy} capacity={args.capacity_gb:.0f}GB requests={metrics.total_requests}")
         for site, site_metrics in sorted(metrics.sites.items()):
             print(f"  {site}: hit_ratio={site_metrics.hit_ratio:6.1%} requests={site_metrics.requests}")
         print(f"  overall hit ratio: {metrics.overall_hit_ratio:6.1%}")
         _print_sim_stats(result.simulator)
+        print(result.render_stats())
         return 0
 
     if args.command == "analyze":
-        if args.engine == "record":
-            records = read_trace(args.trace, batch_size=args.batch_size)
-            dataset = TraceDataset.from_records(records, engine="record")
-        else:
-            dataset = TraceDataset.from_file(
-                args.trace, batch_size=args.batch_size, keep_store=args.keep_store
-            )
-        study = Study(run_clustering=not args.no_clustering)
-        report = study.run(dataset)
-        print(report.render_text())
-        _maybe_export(report, args.export_dir)
-        return 0
+        return _analyze(args)
 
     if args.command == "ingest-bench":
         return _ingest_bench(args)
 
     if args.command == "reproduce":
-        study = Study(run_clustering=not args.no_clustering)
-        _, report = run_study(seed=args.seed, scale=scale, study=study)
-        print(report.render_text())
-        _maybe_export(report, args.export_dir)
+        config = _config_from_args(args)
+        result = Plan(config).generate().simulate().ingest().analyze().run()
+        assert result.report is not None
+        print(result.report.render_text())
+        print(result.render_stats())
+        _maybe_export(result.report, args.export_dir)
         return 0
 
     if args.command == "compare":
         from repro.core.comparison import compare_to_baseline, render_comparison
         from repro.workload.profiles import profile_nonadult
 
-        adult = run_pipeline(seed=args.seed, scale=scale)
-        baseline = run_pipeline(seed=args.seed + 1, scale=scale, profiles=(profile_nonadult(),))
+        config = _config_from_args(args)
+        adult = run_pipeline(seed=config.seed, scale=config.scale)
+        baseline = run_pipeline(
+            seed=config.seed + 1, scale=config.scale, profiles=(profile_nonadult(),)
+        )
         comparison = compare_to_baseline(adult.dataset, baseline.dataset)
         print(render_comparison(comparison))
         return 0

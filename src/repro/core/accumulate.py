@@ -521,6 +521,12 @@ class IngestStats:
     batches: int = 0
     rows: int = 0
     peak_resident_bytes: int = 0
+    #: High-water mark of *rows* held resident during the fold: the total
+    #: retained store when ``keep_store``, otherwise just the largest
+    #: single batch — the number the streaming plan's boundedness tests
+    #: assert on (bytes estimates drift with dictionary width; row counts
+    #: don't).
+    peak_resident_rows: int = 0
     store_bytes: int = 0
     aggregate_bytes: int = 0
     keep_store: bool = True

@@ -42,7 +42,13 @@ from repro.core.accumulate import (
     StreamingAggregates,
     UserTimelines,
 )
-from repro.errors import AnalysisError, ConfigError, EmptyDatasetError
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    EmptyDatasetError,
+    PlanError,
+    StorelessDatasetError,
+)
 from repro.stats.timeseries import HourlyTimeSeries
 from repro.trace.batch import (
     CATEGORIES,
@@ -245,47 +251,10 @@ class TraceDataset:
         one batch plus the aggregates, independent of trace length.  The
         cost is recorded on :attr:`ingest_stats`.
         """
-        dataset = cls()
-        aggregates = StreamingAggregates(
-            scan_aggregates=not keep_store, n_categories=len(CATEGORIES)
-        )
-        stats = IngestStats(keep_store=keep_store)
-        kept: list[RecordBatch] = []
-        store_bytes = 0
+        builder = DatasetBuilder(keep_store=keep_store, dataset_cls=cls)
         for batch in batches:
-            if not len(batch):
-                continue
-            aggregates.update(batch)
-            if keep_store:
-                kept.append(batch)
-                store_bytes += batch.nbytes
-                resident = aggregates.nbytes_estimate() + store_bytes
-            else:
-                resident = aggregates.nbytes_estimate() + batch.nbytes
-            stats.resident_series.append(resident)
-            if resident > stats.peak_resident_bytes:
-                stats.peak_resident_bytes = resident
-        stats.batches = aggregates.batches
-        stats.rows = aggregates.rows
-        stats.aggregate_bytes = aggregates.nbytes_estimate()
-        stats.store_bytes = store_bytes
-        dataset.ingest_stats = stats
-        dataset._length = aggregates.rows
-        dataset._site_rows_map = None
-        if keep_store:
-            dataset._store = RecordBatch.concat(kept)
-        else:
-            dataset.scan_aggregates = aggregates.finalize_scan_tables()
-        if aggregates.rows:
-            dataset.duration_seconds = aggregates.max_timestamp
-            dataset._sites = set(aggregates.sites.values)
-            dataset._site_extents = aggregates.extents.finalize(aggregates.sites.values)
-            dataset._deferred = aggregates.finalize_deferred()
-            dataset._object_stats_map = None
-            dataset._user_times_map = None
-            dataset._user_site_map = None
-            dataset._user_agent_map = None
-        return dataset
+            builder.add(batch)
+        return builder.finish()
 
     @classmethod
     def from_file(
@@ -418,7 +387,7 @@ class TraceDataset:
             self._site_rows_map = {}
             return
         if not self.has_store:
-            raise AnalysisError(
+            raise StorelessDatasetError(
                 "per-site row index unavailable: dataset was built with keep_store=False; "
                 "rebuild with keep_store=True for row-level access"
             )
@@ -449,7 +418,7 @@ class TraceDataset:
         if self._records is None:
             if self._store is None:
                 if self._length:
-                    raise AnalysisError(
+                    raise StorelessDatasetError(
                         "records unavailable: dataset was built with keep_store=False"
                     )
                 self._records = []
@@ -467,7 +436,7 @@ class TraceDataset:
         """
         if self._store is None:
             if self._records is None and self._length:
-                raise AnalysisError(
+                raise StorelessDatasetError(
                     "row store unavailable: dataset was built with keep_store=False; "
                     "rebuild with keep_store=True for row-level access"
                 )
@@ -642,3 +611,130 @@ class TraceDataset:
         rng = np.random.default_rng(seed)
         chosen = rng.choice(len(candidates), size=limit, replace=False)
         return [candidates[int(i)] for i in sorted(chosen)]
+
+
+class DatasetBuilder:
+    """Incremental, push-style construction of a :class:`TraceDataset`.
+
+    The core of :meth:`TraceDataset.from_batches`, inverted: ``add`` folds
+    one batch into the streaming accumulators, ``finish`` seals the
+    dataset.  The dataflow ingest stage drives it batch-by-batch from the
+    plan's single drain loop; ``from_batches`` drives it from its own
+    loop — both paths share this one implementation, which is what keeps
+    them pinned together by the engine-equivalence suites.
+    """
+
+    def __init__(self, keep_store: bool = True, dataset_cls: type | None = None):
+        self.keep_store = keep_store
+        self._dataset_cls = dataset_cls or TraceDataset
+        self._aggregates = StreamingAggregates(
+            scan_aggregates=not keep_store, n_categories=len(CATEGORIES)
+        )
+        self._stats = IngestStats(keep_store=keep_store)
+        self._kept: list[RecordBatch] = []
+        self._store_bytes = 0
+        self._last_batch_rows = 0
+
+    @property
+    def kept_batches(self) -> list[RecordBatch]:
+        """The retained batches (empty in ``keep_store=False`` mode)."""
+        return self._kept
+
+    def add(self, batch: RecordBatch) -> None:
+        """Fold one batch into the accumulators (kept when configured)."""
+        if not len(batch):
+            return
+        aggregates = self._aggregates
+        stats = self._stats
+        aggregates.update(batch)
+        if self.keep_store:
+            self._kept.append(batch)
+            self._store_bytes += batch.nbytes
+            resident = aggregates.nbytes_estimate() + self._store_bytes
+        else:
+            resident = aggregates.nbytes_estimate() + batch.nbytes
+        self._last_batch_rows = len(batch)
+        stats.resident_series.append(resident)
+        if resident > stats.peak_resident_bytes:
+            stats.peak_resident_bytes = resident
+        resident_rows = self.resident_rows()
+        if resident_rows > stats.peak_resident_rows:
+            stats.peak_resident_rows = resident_rows
+
+    def resident_rows(self) -> int:
+        """Rows currently held: the whole retained store when keeping it,
+        otherwise just the batch being folded."""
+        if self.keep_store:
+            return self._aggregates.rows
+        return self._last_batch_rows
+
+    def finish(self) -> "TraceDataset":
+        """Seal the accumulators into a ready-to-analyse dataset."""
+        dataset = self._dataset_cls()
+        aggregates = self._aggregates
+        stats = self._stats
+        stats.batches = aggregates.batches
+        stats.rows = aggregates.rows
+        stats.aggregate_bytes = aggregates.nbytes_estimate()
+        stats.store_bytes = self._store_bytes
+        dataset.ingest_stats = stats
+        dataset._length = aggregates.rows
+        dataset._site_rows_map = None
+        if self.keep_store:
+            dataset._store = RecordBatch.concat(self._kept)
+        else:
+            dataset.scan_aggregates = aggregates.finalize_scan_tables()
+        if aggregates.rows:
+            dataset.duration_seconds = aggregates.max_timestamp
+            dataset._sites = set(aggregates.sites.values)
+            dataset._site_extents = aggregates.extents.finalize(aggregates.sites.values)
+            dataset._deferred = aggregates.finalize_deferred()
+            dataset._object_stats_map = None
+            dataset._user_times_map = None
+            dataset._user_site_map = None
+            dataset._user_agent_map = None
+        return dataset
+
+
+class IngestStage:
+    """Dataflow sink: fold the batch stream into a :class:`TraceDataset`.
+
+    Pass-through like every stage: each batch is folded and re-yielded.
+    In ``keep_store=False`` mode the batch's row payload is dropped
+    before folding (columns only), exactly like the legacy streaming
+    path, so downstream stages see column-complete batches and peak
+    memory stays one batch plus the aggregates.
+    """
+
+    name = "ingest"
+
+    def __init__(self) -> None:
+        self.dataset: TraceDataset | None = None
+        self._builder: DatasetBuilder | None = None
+
+    def connect(self, upstream, config):
+        if upstream is None:
+            raise PlanError("ingest needs an upstream batch stream")
+        self._builder = DatasetBuilder(keep_store=config.keep_store)
+        return self._fold(upstream)
+
+    def _fold(self, upstream):
+        builder = self._builder
+        assert builder is not None
+        if builder.keep_store:
+            for batch in upstream:
+                builder.add(batch)
+                yield batch
+        else:
+            for batch in upstream:
+                builder.add(batch.drop_records())
+                yield batch
+        self.dataset = builder.finish()
+
+    def resident_rows(self) -> int:
+        return self._builder.resident_rows() if self._builder is not None else 0
+
+    def finish(self, stats, result) -> None:
+        result.dataset = self.dataset
+        if self._builder is not None and self._builder.keep_store:
+            result.batches = self._builder.kept_batches

@@ -24,7 +24,7 @@ from collections.abc import Sequence
 from typing import Any, Protocol, runtime_checkable
 
 from repro.core.dataset import TraceDataset
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, PlanError
 from repro.trace.batch import RecordBatch
 
 #: Rows per chunk handed to ``process``; large enough to amortise numpy
@@ -88,3 +88,28 @@ def run_passes(
             for analysis_pass in passes:
                 analysis_pass.process(chunk)
     return {analysis_pass.name: analysis_pass.finish() for analysis_pass in passes}
+
+
+class PassSweepStage:
+    """Dataflow derive stage: sweep analysis passes over the ingest result.
+
+    The plan adapter for :func:`run_passes` — it runs after the stream is
+    drained, against the dataset the ingest stage contributed, and lands
+    the ``{pass.name: result}`` mapping on the plan result.
+    """
+
+    name = "passes"
+
+    def __init__(self, passes: Sequence[AnalysisPass], chunk_rows: int | None = None):
+        self.passes = list(passes)
+        self.chunk_rows = chunk_rows
+
+    def derive(self, result, config) -> None:
+        if result.dataset is None:
+            raise PlanError("passes stage ran but no ingest contributed a dataset to the plan")
+        chunk_rows = DEFAULT_CHUNK_ROWS if self.chunk_rows is None else self.chunk_rows
+        result.pass_results = run_passes(result.dataset, self.passes, chunk_rows=chunk_rows)
+
+    def finish(self, stats, result) -> None:
+        if result.dataset is not None:
+            stats.rows = len(result.dataset)

@@ -49,7 +49,7 @@ from repro.core.users import (
     SessionLengthPass,
     SessionResult,
 )
-from repro.errors import EmptyDatasetError
+from repro.errors import EmptyDatasetError, PlanError
 from repro.stats.ecdf import EmpiricalCDF
 from repro.types import ContentCategory
 from repro.workload.catalog import ContentCatalog
@@ -287,7 +287,8 @@ class StudyReport:
         }
         out["clustering"] = {
             f"{site}/{category}": {
-                label.value: _num(share) for label, share in sorted(result.fractions().items())
+                label.value: _num(share)
+                for label, share in sorted(result.fractions().items(), key=lambda kv: kv[0].value)
             }
             for (site, category), result in sorted(self.clustering.items())
         }
@@ -314,6 +315,13 @@ class Study:
         image — when those sites are present.
     max_cluster_objects:
         Cap on the number of series per clustering run (O(n^2) DTW).
+    dtw_kernel / dtw_workers:
+        Forwarded to the DTW cascade of the trend clustering.  ``None``
+        (the default) keeps the legacy behaviour of reading the
+        ``REPRO_DTW_*`` environment variables at compute time; the
+        dataflow layer passes the values its :class:`RunConfig` already
+        resolved.  The clustering is bit-identical across kernels and
+        worker counts either way.
     """
 
     def __init__(
@@ -321,10 +329,14 @@ class Study:
         cluster_sites: list[tuple[str, ContentCategory]] | None = None,
         max_cluster_objects: int = 60,
         run_clustering: bool = True,
+        dtw_kernel: str | None = None,
+        dtw_workers: int | None = None,
     ):
         self.cluster_sites = cluster_sites
         self.max_cluster_objects = max_cluster_objects
         self.run_clustering = run_clustering
+        self.dtw_kernel = dtw_kernel
+        self.dtw_workers = dtw_workers
 
     def run(
         self,
@@ -389,7 +401,13 @@ class Study:
             for site, category in targets:
                 try:
                     result = cluster_popularity_trends(
-                        dataset, site, category, max_objects=self.max_cluster_objects
+                        dataset,
+                        site,
+                        category,
+                        max_objects=self.max_cluster_objects,
+                        parallel=(self.dtw_workers or 1) > 1,
+                        dtw_kernel=self.dtw_kernel,
+                        max_workers=self.dtw_workers,
                     )
                 except EmptyDatasetError:
                     continue
@@ -397,3 +415,39 @@ class Study:
         for site, _category in scatter_targets:
             report.extras[f"scatter:{site}"] = swept[f"scatter:{site}"]
         return report
+
+
+class StudyStage:
+    """Dataflow derive stage: run the figure battery over the dataset.
+
+    The plan adapter for :class:`Study`: after the stream is drained it
+    runs the full analysis against the ingested dataset (with the
+    generate stage's catalogs, when the plan has one) and lands the
+    :class:`StudyReport` on the plan result.  Without an explicit
+    ``study`` the run's :class:`~repro.dataflow.config.RunConfig` supplies
+    the clustering toggle and DTW kernel/worker knobs.
+    """
+
+    name = "analyze"
+
+    def __init__(self, study: Study | None = None):
+        self.study = study
+
+    def derive(self, result, config) -> None:
+        if result.dataset is None:
+            raise PlanError("analyze stage ran but no ingest contributed a dataset to the plan")
+        study = self.study
+        if study is None:
+            study = Study(
+                run_clustering=config.run_clustering,
+                dtw_kernel=config.dtw_kernel,
+                dtw_workers=config.dtw_workers,
+            )
+        catalogs = None
+        if result.workloads:
+            catalogs = {name: w.catalog for name, w in result.workloads.items()}
+        result.report = study.run(result.dataset, catalogs=catalogs)
+
+    def finish(self, stats, result) -> None:
+        if result.dataset is not None:
+            stats.rows = len(result.dataset)

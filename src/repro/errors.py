@@ -17,6 +17,15 @@ class ConfigError(ReproError):
     """A configuration object or parameter set is invalid."""
 
 
+class PlanError(ConfigError):
+    """A dataflow plan was assembled or executed inconsistently.
+
+    Raised by :class:`repro.dataflow.Plan` when stages are composed in an
+    impossible order (a transform before any source, an analysis without
+    an ingest, two sources) or when a plan is run without stages.
+    """
+
+
 class TraceError(ReproError):
     """Base class for trace (HTTP log) related errors."""
 
@@ -77,3 +86,14 @@ class AnalysisError(ReproError):
 
 class EmptyDatasetError(AnalysisError):
     """An analysis requires at least one record/series but received none."""
+
+
+class StorelessDatasetError(AnalysisError):
+    """Row-level access was requested from a ``keep_store=False`` build.
+
+    Raised by :class:`~repro.core.dataset.TraceDataset` (``records``,
+    ``store()``, ``site_records``) and :class:`repro.pipeline.PipelineResult`
+    (``records``, ``batches``) when the rows were deliberately dropped at
+    ingest.  Rebuild with ``keep_store=True`` for row-level access; every
+    aggregate-backed analysis works either way.
+    """

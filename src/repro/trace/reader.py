@@ -198,6 +198,31 @@ class TraceReader:
                 )
 
 
+class TraceSourceStage:
+    """Dataflow source: stream a trace file as columnar batches.
+
+    The plan adapter for :class:`TraceReader`: re-analysis plans start
+    here instead of at generate/simulate.  Batches come off the reader
+    without per-batch record caches (columns only), matching
+    :meth:`repro.core.dataset.TraceDataset.from_file`, and are sized by
+    the run's ``batch_size``.
+    """
+
+    name = "read_trace"
+
+    def __init__(self, path: str | Path, fmt: str | None = None, **reader_kwargs: object):
+        self.path = Path(path)
+        self.fmt = fmt
+        self.reader_kwargs = reader_kwargs
+
+    def connect(self, upstream, config):
+        reader = TraceReader(self.path, fmt=self.fmt, **self.reader_kwargs)  # type: ignore[arg-type]
+        return reader.iter_batches(batch_size=config.batch_size, keep_records=False)
+
+    def finish(self, stats, result) -> None:
+        result.trace_path = self.path
+
+
 def read_trace(
     path: str | Path, batch_size: int = DEFAULT_BATCH_SIZE, **kwargs: object
 ) -> list[LogRecord]:

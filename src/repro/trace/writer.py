@@ -15,7 +15,7 @@ from collections.abc import Iterable
 from pathlib import Path
 from typing import IO
 
-from repro.errors import TraceFormatError
+from repro.errors import PlanError, TraceFormatError
 from repro.trace import schema
 from repro.trace.batch import RecordBatch
 from repro.trace.record import LogRecord
@@ -130,6 +130,39 @@ class TraceWriter:
             self._handle.close()
             self._handle = None
             self._csv_writer = None
+
+
+class TraceWriteStage:
+    """Dataflow tee: persist the batch stream while passing it through.
+
+    The plan adapter for :class:`TraceWriter`: each incoming batch is
+    written and then re-yielded, so an ingest downstream still sees the
+    full stream — the trace never materialises.  The writer closes when
+    the stream is exhausted (or abandoned, via generator finalisation).
+    """
+
+    name = "write_trace"
+
+    def __init__(self, path: str | Path, fmt: str | None = None):
+        self.path = Path(path)
+        self.fmt = fmt
+        self.rows_written = 0
+
+    def connect(self, upstream, config):
+        if upstream is None:
+            raise PlanError("write_trace needs an upstream batch stream")
+        return self._tee(upstream)
+
+    def _tee(self, upstream):
+        with TraceWriter(self.path, fmt=self.fmt) as writer:
+            for batch in upstream:
+                writer.write_batch(batch)
+                yield batch
+            self.rows_written = writer.records_written
+
+    def finish(self, stats, result) -> None:
+        result.rows_written = self.rows_written
+        result.trace_path = self.path
 
 
 def write_trace(records: Iterable[LogRecord], path: str | Path, fmt: str | None = None) -> int:

@@ -341,6 +341,38 @@ class WorkloadGenerator:
                 requests.append(Request(timestamp=float(t), user=user, obj=favorite, is_repeat=True))
 
 
+class GenerateStage:
+    """Dataflow source: site workloads → merged request blocks.
+
+    The plan adapter for :class:`WorkloadGenerator`.  ``connect`` builds
+    the generator from the run's seed and scale and generates every site
+    up front (that cost is attributed to this stage's wall time), then
+    returns the lazy merged request-block stream — downstream stages pull
+    one block at a time, so a streaming consumer overlaps with request
+    stamping exactly as :meth:`WorkloadGenerator.merged_request_batches`
+    promises.  The workloads and resolved profiles stay on the stage so
+    the simulate stage can size caches from the catalogs and the plan
+    result can expose them.
+    """
+
+    name = "generate"
+
+    def __init__(self, profiles: tuple[SiteProfile, ...] | list[SiteProfile] | None = None):
+        self.profiles = tuple(profiles) if profiles is not None else None
+        self.workloads: dict[str, SiteWorkload] | None = None
+
+    def connect(self, upstream, config):
+        generator = WorkloadGenerator(
+            profiles=self.profiles, scale=config.scale_config(), seed=config.seed
+        )
+        self.profiles = generator.profiles
+        self.workloads = generator.generate_all()
+        return generator.merged_request_batches(self.workloads)
+
+    def finish(self, stats, result) -> None:
+        result.workloads = self.workloads
+
+
 class _ObjectSelector:
     """Lazy per-(category, hour) sampling tables.
 

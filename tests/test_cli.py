@@ -90,3 +90,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "figure CSVs" in out
         assert any(target.glob("fig*.csv"))
+
+
+class TestDataflowCli:
+    def test_analyze_in_process_streaming_with_telemetry(self, capsys):
+        assert main([
+            "analyze", "--seed", "1", "--scale", "tiny", "--no-clustering",
+            "--no-keep-store", "--sim-workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out
+        assert "dataflow plan:" in out
+        for stage in ("generate", "simulate", "ingest", "analyze"):
+            assert f"stage {stage}" in out
+
+    def test_analyze_trace_prints_telemetry(self, tmp_path, capsys):
+        trace = tmp_path / "trace.csv"
+        assert main(["generate", "--out", str(trace), "--seed", "1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "dataflow plan:" in out  # generate streams through the plan too
+        assert "stage write_trace" in out
+
+        assert main(["analyze", "--trace", str(trace), "--no-clustering"]) == 0
+        out = capsys.readouterr().out
+        assert "stage read_trace" in out
+        assert "stage ingest" in out
+
+    def test_analyze_record_engine_requires_trace(self, capsys):
+        assert main(["analyze", "--engine", "record"]) == 2
+        assert "needs --trace" in capsys.readouterr().out
+
+    def test_ingest_bench_requires_a_source(self, capsys):
+        assert main(["ingest-bench"]) == 2
+        assert "--trace" in capsys.readouterr().out
+
+    def test_scale_flag_beats_environment(self, monkeypatch, capsys):
+        # REPRO_SCALE would pick small; the explicit flag must win.
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["simulate", "--seed", "1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "overall hit ratio" in out

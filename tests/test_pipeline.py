@@ -6,7 +6,8 @@ import pytest
 
 from repro.cdn.simulator import SimulationConfig
 from repro.core.report import Study
-from repro.pipeline import generate_trace_file, run_pipeline, run_study
+from repro.errors import StorelessDatasetError
+from repro.pipeline import generate_trace_file, generate_trace_plan, run_pipeline, run_study
 from repro.trace.reader import TraceReader
 from repro.workload.profiles import profile_v1
 from repro.workload.scale import ScaleConfig
@@ -62,3 +63,63 @@ class TestGenerateTraceFile:
         assert written > 0
         count = sum(1 for _ in TraceReader(path))
         assert count == written
+
+
+class TestStorelessPipeline:
+    def test_storeless_study_matches_eager_report(self):
+        kwargs = dict(
+            seed=1, scale=ScaleConfig.tiny(), profiles=(profile_v1(),),
+            study=Study(run_clustering=False),
+        )
+        _, eager = run_study(**kwargs)
+        result, storeless = run_study(keep_store=False, sim_workers=2, **kwargs)
+        assert storeless.to_summary_dict() == eager.to_summary_dict()
+        assert not result.dataset.has_store
+
+    def test_row_level_access_raises_storeless_error(self):
+        result = run_pipeline(
+            seed=1, scale=ScaleConfig.tiny(), profiles=(profile_v1(),), keep_store=False
+        )
+        with pytest.raises(StorelessDatasetError):
+            result.batches
+        with pytest.raises(StorelessDatasetError):
+            result.records
+
+    def test_row_level_access_works_when_store_kept(self, pipeline_result):
+        assert pipeline_result.batches
+        assert len(pipeline_result.records) == len(pipeline_result.dataset)
+
+    def test_sim_worker_knobs_threaded_through(self):
+        result = run_pipeline(
+            seed=1, scale=ScaleConfig.tiny(), profiles=(profile_v1(),),
+            sim_workers=2, sim_queue_depth=256,
+        )
+        stats = result.simulator.sim_stats
+        assert stats is not None and stats.workers == 2
+
+    def test_result_carries_stage_telemetry(self, pipeline_result):
+        names = [s.name for s in pipeline_result.stage_stats]
+        assert names == ["generate", "simulate", "ingest"]
+        assert pipeline_result.render_stage_stats().startswith("dataflow plan:")
+
+    def test_env_knobs_apply_when_kwargs_omitted(self, monkeypatch):
+        explicit = run_pipeline(seed=4, scale=ScaleConfig.tiny(), profiles=(profile_v1(),))
+        monkeypatch.setenv("REPRO_SEED", "4")
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        from_env = run_pipeline(profiles=(profile_v1(),))
+        assert from_env.records == explicit.records
+
+
+class TestGenerateTracePlan:
+    def test_streams_to_disk_with_bounded_resident_rows(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        result = generate_trace_plan(
+            path, seed=1, scale=ScaleConfig.tiny(), batch_size=512
+        )
+        assert result.rows_written == sum(1 for _ in TraceReader(path))
+        assert result.rows_written > 2048
+        by_name = {s.name: s for s in result.stage_stats}
+        # The tee holds at most one batch resident: the trace never
+        # materialises as a list on the way to disk.
+        assert by_name["write_trace"].peak_resident_rows <= 512
+        assert by_name["write_trace"].batches >= result.rows_written // 512
