@@ -1,18 +1,21 @@
 """End-to-end pipeline: one streaming dataflow plan vs the legacy path.
 
-Times the full generate → simulate → ingest → figure battery twice over
-the standard benchmark workload:
+Times the full generate → simulate → ingest → figure battery three ways
+over the standard benchmark workload:
 
-* **plan (streaming)** — one :class:`~repro.dataflow.plan.Plan` run with
-  ``keep_store=False``: blocks flow straight from the simulator through
-  the accumulator ingest, nothing materialises the full trace, and the
-  per-stage telemetry reports the honest peak resident rows.
+* **plan (streaming, pruned)** — one :class:`~repro.dataflow.plan.Plan`
+  run with ``keep_store=False`` and projection pushdown on: blocks flow
+  straight from the simulator through the accumulator ingest with the
+  columns no declared stage reads stripped at the source.
+* **plan (streaming, full)** — the same plan with ``projection=False``:
+  every batch carries the full 13-column schema.
 * **legacy (materialising)** — the pre-dataflow composition: fully
   ``list()`` the simulated batches, build an eager ``keep_store=True``
   dataset, then run the study over it.
 
-Both must produce identical study summaries (asserted); wall seconds and
-the peak-resident-rows ratio land in ``BENCH_results.json``.
+All three must produce identical study summaries (asserted); wall
+seconds, the peak-resident-rows ratio, and the pruned-vs-full resident
+byte and ``bytes_pruned`` comparison land in ``BENCH_results.json``.
 """
 
 from __future__ import annotations
@@ -61,6 +64,10 @@ def test_pipeline_end_to_end(benchmark):
         start = time.perf_counter()
         plan_result = Plan(config).generate().simulate().ingest().analyze().run()
         runs["plan"] = (time.perf_counter() - start, plan_result)
+        full_config = config.replacing(projection=False)
+        start = time.perf_counter()
+        full_result = Plan(full_config).generate().simulate().ingest().analyze().run()
+        runs["plan_full"] = (time.perf_counter() - start, full_result)
         start = time.perf_counter()
         legacy_report, legacy_peak = _legacy_run(scale)
         runs["legacy"] = (time.perf_counter() - start, legacy_report, legacy_peak)
@@ -69,14 +76,27 @@ def test_pipeline_end_to_end(benchmark):
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     plan_seconds, plan_result = runs["plan"]
+    full_seconds, full_result = runs["plan_full"]
     legacy_seconds, legacy_report, legacy_peak = runs["legacy"]
-    assert plan_result.report is not None
+    assert plan_result.report is not None and full_result.report is not None
     assert plan_result.report.to_summary_dict() == legacy_report.to_summary_dict()
+    # Projection pushdown is invisible to the analyses: pruned == full.
+    assert plan_result.report.to_summary_dict() == full_result.report.to_summary_dict()
 
     by_name = {s.name: s for s in plan_result.stage_stats}
     plan_peak = by_name["ingest"].peak_resident_rows
     total = by_name["ingest"].rows
     assert plan_peak < total  # streaming never held the whole trace
+
+    # The pruned-vs-full comparison: the storeless plan drops chunk_index
+    # at the source, so per-batch resident bytes at ingest shrink.
+    source = by_name["simulate"]
+    assert source.bytes_pruned > 0
+    assert source.columns_out < source.columns_in
+    assert plan_result.dataset is not None and full_result.dataset is not None
+    pruned_resident = plan_result.dataset.ingest_stats.peak_resident_bytes
+    full_resident = full_result.dataset.ingest_stats.peak_resident_bytes
+    assert 0 < pruned_resident < full_resident
 
     print_header(
         "pipeline_end_to_end",
@@ -84,8 +104,14 @@ def test_pipeline_end_to_end(benchmark):
     )
     print(f"rows: {total:,}")
     print(f"plan (streaming, keep_store=False): {plan_seconds:8.2f}s  peak resident {plan_peak:,} rows")
+    print(f"plan (projection off):              {full_seconds:8.2f}s  peak resident {full_resident:,} bytes")
     print(f"legacy (materialising):             {legacy_seconds:8.2f}s  peak resident {legacy_peak:,} rows")
     print(f"peak-memory ratio: {legacy_peak / max(1, plan_peak):.1f}x smaller resident set")
+    print(
+        f"projection: cols {source.columns_in}->{source.columns_out}, "
+        f"bytes_pruned {source.bytes_pruned:,}, ingest resident "
+        f"{pruned_resident:,} vs {full_resident:,} bytes"
+    )
     print(plan_result.render_stats())
 
     record_extra(
@@ -97,5 +123,14 @@ def test_pipeline_end_to_end(benchmark):
         legacy_peak_resident_rows=legacy_peak,
         stage_wall_seconds={
             s.name: round(s.wall_seconds, 6) for s in plan_result.stage_stats
+        },
+        projection={
+            "pruned_seconds": round(plan_seconds, 6),
+            "full_seconds": round(full_seconds, 6),
+            "columns_in": source.columns_in,
+            "columns_out": source.columns_out,
+            "bytes_pruned": source.bytes_pruned,
+            "peak_resident_bytes": pruned_resident,
+            "full_peak_resident_bytes": full_resident,
         },
     )

@@ -82,6 +82,7 @@ def _config_from_args(args: argparse.Namespace) -> RunConfig:
         "engine": getattr(args, "engine", None),
         "sim_workers": getattr(args, "sim_workers", None),
         "sim_queue_depth": getattr(args, "sim_queue_depth", None),
+        "projection": getattr(args, "projection", None),
         "run_clustering": False if no_clustering else None,
     }
     return RunConfig.resolve(cli=cli)
@@ -178,6 +179,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-keep-store streams batches through the accumulators and "
             "keeps only aggregates, bounding memory by one dispatch window "
             "(batch engine only)"
+        ),
+    )
+    ana.add_argument(
+        "--projection",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "prune batch columns no stage declared a read for at the plan's "
+            "source (default: REPRO_PROJECTION, else on); with the row store "
+            "kept the full schema is pinned and pruning is a no-op"
         ),
     )
 

@@ -36,6 +36,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.accumulate import (
+    AGGREGATE_COLUMNS,
+    SCAN_TABLE_COLUMNS,
     IngestStats,
     ScanTables,
     SiteExtent,
@@ -47,6 +49,7 @@ from repro.errors import (
     ConfigError,
     EmptyDatasetError,
     PlanError,
+    ProjectionError,
     StorelessDatasetError,
 )
 from repro.stats.timeseries import HourlyTimeSeries
@@ -63,6 +66,12 @@ from repro.types import CacheStatus, ContentCategory, HOUR_SECONDS
 #: Status codes that represent an actual content access (the per-object
 #: popularity and hit-ratio analyses exclude errors and beacons).
 CONTENT_STATUS_CODES = frozenset({200, 206, 304})
+
+#: Every batch column the storeless streaming ingest reads (always-on
+#: accumulators plus the fig. 3 / fig. 16 scan tables) — what
+#: :class:`IngestStage` declares to projection pushdown when
+#: ``keep_store=False``; with a store the full schema is pinned.
+INGEST_COLUMNS: frozenset[str] = AGGREGATE_COLUMNS | SCAN_TABLE_COLUMNS
 
 
 @dataclass
@@ -242,6 +251,7 @@ class TraceDataset:
         cls,
         batches: Iterable[RecordBatch],
         keep_store: bool = True,
+        columns: Iterable[str] | None = None,
     ) -> "TraceDataset":
         """Build from a stream of columnar batches (the production path).
 
@@ -250,8 +260,14 @@ class TraceDataset:
         dropped immediately afterwards — peak memory is then bounded by
         one batch plus the aggregates, independent of trace length.  The
         cost is recorded on :attr:`ingest_stats`.
+
+        ``columns`` prunes each batch to the named columns before folding
+        (``keep_store=False`` only; the row store needs full rows) — the
+        ingest-boundary flavour of projection pushdown.  Must cover every
+        column the accumulators read, or :class:`~repro.errors.ProjectionError`
+        names the missing one up front.
         """
-        builder = DatasetBuilder(keep_store=keep_store, dataset_cls=cls)
+        builder = DatasetBuilder(keep_store=keep_store, dataset_cls=cls, columns=columns)
         for batch in batches:
             builder.add(batch)
         return builder.finish()
@@ -262,6 +278,7 @@ class TraceDataset:
         path: str | Path,
         batch_size: int = DEFAULT_BATCH_SIZE,
         keep_store: bool = True,
+        columns: Iterable[str] | None = None,
         **reader_kwargs: object,
     ) -> "TraceDataset":
         """Stream a trace file into a dataset.
@@ -270,11 +287,14 @@ class TraceDataset:
         (columns only), so with ``keep_store=False`` the file never
         occupies more than one batch of row memory; :attr:`ingest_stats`
         reports the fold (batches, rows, peak resident estimate).
+        ``columns`` prunes every batch at the reader boundary (see
+        :meth:`from_batches`).
         """
         reader = TraceReader(path, **reader_kwargs)  # type: ignore[arg-type]
         return cls.from_batches(
             reader.iter_batches(batch_size=batch_size, keep_records=False),
             keep_store=keep_store,
+            columns=columns,
         )
 
     # -- scalar reference engine ----------------------------------------------
@@ -624,9 +644,27 @@ class DatasetBuilder:
     them pinned together by the engine-equivalence suites.
     """
 
-    def __init__(self, keep_store: bool = True, dataset_cls: type | None = None):
+    def __init__(
+        self,
+        keep_store: bool = True,
+        dataset_cls: type | None = None,
+        columns: Iterable[str] | None = None,
+    ):
         self.keep_store = keep_store
         self._dataset_cls = dataset_cls or TraceDataset
+        self._columns = None if columns is None else frozenset(columns)
+        if self._columns is not None:
+            if keep_store:
+                raise ProjectionError(
+                    "column pruning at ingest requires keep_store=False; "
+                    "the row store must retain full rows"
+                )
+            missing = INGEST_COLUMNS - self._columns
+            if missing:
+                raise ProjectionError(
+                    f"ingest requires column {min(missing)!r} but the requested "
+                    f"projection {sorted(self._columns)} does not include it"
+                )
         self._aggregates = StreamingAggregates(
             scan_aggregates=not keep_store, n_categories=len(CATEGORIES)
         )
@@ -644,6 +682,8 @@ class DatasetBuilder:
         """Fold one batch into the accumulators (kept when configured)."""
         if not len(batch):
             return
+        if self._columns is not None:
+            batch = batch.select(self._columns)
         aggregates = self._aggregates
         stats = self._stats
         aggregates.update(batch)
@@ -711,6 +751,14 @@ class IngestStage:
     def __init__(self) -> None:
         self.dataset: TraceDataset | None = None
         self._builder: DatasetBuilder | None = None
+
+    def required_columns(self, config) -> frozenset[str] | None:
+        """Columns the ingest reads: the accumulator set when streaming,
+        the full schema (``None``) when the row store is kept — stored
+        rows must stay row-complete for ``records``/``site_records``."""
+        if config.keep_store:
+            return None
+        return INGEST_COLUMNS
 
     def connect(self, upstream, config):
         if upstream is None:

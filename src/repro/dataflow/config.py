@@ -95,6 +95,13 @@ KNOBS: tuple[Knob, ...] = (
         "retain the columnar row store after ingest; false streams aggregates only",
     ),
     Knob(
+        "projection",
+        "REPRO_PROJECTION",
+        True,
+        _parse_bool,
+        "prune batch columns no declared stage reads at the plan's source (pushdown)",
+    ),
+    Knob(
         "engine",
         "REPRO_ENGINE",
         "batch",
@@ -156,6 +163,7 @@ class RunConfig:
     scale: str | ScaleConfig = "small"
     batch_size: int = DEFAULT_BATCH_SIZE
     keep_store: bool = True
+    projection: bool = True
     engine: str = "batch"
     sim_workers: int = 1
     sim_queue_depth: int = _DEFAULT_QUEUE_DEPTH
@@ -179,7 +187,7 @@ class RunConfig:
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool) or value < 1:
                 raise ConfigError(f"{name} must be an integer >= 1, got {value!r}")
-        for name in ("keep_store", "run_clustering"):
+        for name in ("keep_store", "projection", "run_clustering"):
             if not isinstance(getattr(self, name), bool):
                 raise ConfigError(f"{name} must be a boolean, got {getattr(self, name)!r}")
 

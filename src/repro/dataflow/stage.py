@@ -28,6 +28,21 @@ Optional hooks a stage may provide:
   :class:`~repro.dataflow.plan.PlanResult` and to adjust the stage's own
   :class:`StageStats` (e.g. adopt the simulator's dispatcher high-water
   mark).
+* ``required_columns(config)`` — the batch columns this stage (or derive
+  stage) reads, as a frozenset of names from
+  :data:`repro.trace.batch.ALL_COLUMNS`; return ``None`` to pin the full
+  schema (tees that re-serialise whole rows, row-store ingest).  A stage
+  that does not implement the hook is conservatively treated as needing
+  the full schema, so projection pushdown never silently starves an
+  undeclared consumer.  The executor validates every declaration at
+  build time — an unknown column name raises
+  :class:`~repro.errors.ProjectionError` naming the stage and column
+  before any block flows — and prunes once, at the batch source, via
+  :meth:`repro.trace.batch.RecordBatch.select`.
+* ``provided_columns()`` — on batch *sources* only: the columns the
+  source actually emits (defaults to the full schema).  Lets build-time
+  validation reject a plan whose downstream stages need a column the
+  source never produces.
 
 The executor (:meth:`repro.dataflow.plan.Plan.run`) owns every
 cross-cutting concern: wall-clock attribution per stage, row/batch
@@ -61,6 +76,12 @@ class StageStats:
     batches: int = 0
     wall_seconds: float = 0.0
     peak_resident_rows: int = 0
+    #: Columns entering the stage (0 = not a projected batch stream).
+    columns_in: int = 0
+    #: Columns leaving the stage (0 = not a projected batch stream).
+    columns_out: int = 0
+    #: Bytes projection pushdown stripped at this stage (sources only).
+    bytes_pruned: int = 0
 
     @property
     def rows_per_sec(self) -> float:
@@ -69,18 +90,36 @@ class StageStats:
             return 0.0
         return self.rows / self.wall_seconds
 
-    def render(self) -> str:
-        """One aligned telemetry line (the CLI prints one per stage)."""
-        return (
-            f"stage {self.name:<12} {self.rows:>12,} rows {self.batches:>6,} batches "
+    def render(self, name_width: int | None = None) -> str:
+        """One aligned telemetry line (the CLI prints one per stage).
+
+        ``name_width`` pads the stage label; callers rendering a table
+        pass the widest name so long labels never shift the columns
+        (:func:`render_stage_stats` computes it).
+        """
+        width = max(len(self.name), 12) if name_width is None else name_width
+        line = (
+            f"stage {self.name:<{width}} {self.rows:>12,} rows {self.batches:>6,} batches "
             f"{self.wall_seconds:9.3f}s {self.rows_per_sec:14,.0f} rows/s "
             f"peak resident {self.peak_resident_rows:,} rows"
         )
+        if self.columns_in or self.columns_out or self.bytes_pruned:
+            line += (
+                f" cols {self.columns_in}->{self.columns_out}"
+                f" bytes_pruned {self.bytes_pruned:,}"
+            )
+        return line
 
 
 def render_stage_stats(stats: tuple[StageStats, ...] | list[StageStats]) -> str:
-    """The per-stage telemetry table as printable text."""
-    return "\n".join(("dataflow plan:", *(f"  {s.render()}" for s in stats)))
+    """The per-stage telemetry table as printable text.
+
+    The stage-name column is sized to the longest name in the table, so a
+    stage label wider than the old fixed 12 characters no longer shoves
+    every later column out of alignment.
+    """
+    width = max([12, *(len(s.name) for s in stats)])
+    return "\n".join(("dataflow plan:", *(f"  {s.render(name_width=width)}" for s in stats)))
 
 
 @runtime_checkable

@@ -95,6 +95,7 @@ def _resolve_config(
     sim_workers: int | None = None,
     sim_queue_depth: int | None = None,
     batch_size: int | None = None,
+    projection: bool | None = None,
 ) -> RunConfig:
     """One RunConfig from wrapper kwargs: env < explicitly-passed values."""
     return RunConfig.resolve(
@@ -104,6 +105,7 @@ def _resolve_config(
         sim_workers=sim_workers,
         sim_queue_depth=sim_queue_depth,
         batch_size=batch_size,
+        projection=projection,
     )
 
 
@@ -128,6 +130,7 @@ def run_pipeline(
     keep_store: bool | None = None,
     sim_workers: int | None = None,
     sim_queue_depth: int | None = None,
+    projection: bool | None = None,
 ) -> PipelineResult:
     """Generate a synthetic week of adult-CDN traffic and index it.
 
@@ -149,7 +152,9 @@ def run_pipeline(
     window.  The emitted trace is bit-identical for any worker count or
     queue depth.
     """
-    config = _resolve_config(seed, scale, keep_store, sim_workers, sim_queue_depth)
+    config = _resolve_config(
+        seed, scale, keep_store, sim_workers, sim_queue_depth, projection=projection
+    )
     plan = Plan(config).generate(profiles).simulate(sim_config).ingest()
     return _wrap(plan.run())
 
@@ -163,6 +168,7 @@ def run_study(
     keep_store: bool | None = None,
     sim_workers: int | None = None,
     sim_queue_depth: int | None = None,
+    projection: bool | None = None,
 ) -> tuple[PipelineResult, StudyReport]:
     """Full pipeline plus the complete figure battery.
 
@@ -171,7 +177,9 @@ def run_study(
     battery off the streaming aggregates and produces a report identical
     to the eager one.
     """
-    config = _resolve_config(seed, scale, keep_store, sim_workers, sim_queue_depth)
+    config = _resolve_config(
+        seed, scale, keep_store, sim_workers, sim_queue_depth, projection=projection
+    )
     plan = Plan(config).generate(profiles).simulate(sim_config).ingest().analyze(study)
     result = plan.run()
     assert result.report is not None

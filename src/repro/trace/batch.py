@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ProjectionError
 from repro.trace.record import LogRecord
 from repro.types import CacheStatus, ContentCategory, category_for_extension
 
@@ -37,6 +38,79 @@ DEFAULT_BATCH_SIZE = 65_536
 
 #: String-valued fields, in schema order.
 STRING_FIELDS = ("site", "object_id", "extension", "user_id", "user_agent", "datacenter")
+
+#: Numeric (numpy-array) fields, in schema order.
+NUMERIC_FIELDS = (
+    "timestamp",
+    "object_size",
+    "bytes_served",
+    "status_code",
+    "chunk_index",
+    "cache_status",
+    "category",
+)
+
+#: Every batch column, numeric then string — the full trace schema as seen
+#: by projection pushdown (:meth:`RecordBatch.select`).
+ALL_COLUMNS = NUMERIC_FIELDS + STRING_FIELDS
+
+
+class PrunedColumn:
+    """Placeholder left where projection pushdown dropped a column.
+
+    Keeps the row count (``size`` / ``len``) so a pruned batch still knows
+    its length, and reports ``nbytes == 0`` so footprint accounting
+    reflects the memory the pruning actually freed — for string columns
+    the whole intern table (codes *and* value list) is gone.  Any data
+    access (indexing, ``take``, ``tolist``, ``codes``, ``values``) raises
+    :class:`~repro.errors.ProjectionError` naming the column: a stage
+    reading a column it never declared fails loudly, not with garbage.
+    """
+
+    __slots__ = ("name", "_length")
+
+    def __init__(self, name: str, length: int):
+        self.name = name
+        self._length = int(length)
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def size(self) -> int:
+        """Row count, mirroring ``ndarray.size`` / ``StringColumn`` length."""
+        return self._length
+
+    @property
+    def nbytes(self) -> int:
+        """Always 0: a pruned column holds no data."""
+        return 0
+
+    def _pruned(self) -> "ProjectionError":
+        return ProjectionError(
+            f"column {self.name!r} was pruned from this batch by projection pushdown; "
+            f"declare it in the consuming stage's required_columns() to keep it"
+        )
+
+    def __getitem__(self, index):
+        raise self._pruned()
+
+    def take(self, indexer):
+        raise self._pruned()
+
+    def tolist(self):
+        raise self._pruned()
+
+    @property
+    def codes(self):
+        raise self._pruned()
+
+    @property
+    def values(self):
+        raise self._pruned()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PrunedColumn({self.name!r}, rows={self._length})"
 
 
 @dataclass
@@ -299,6 +373,40 @@ class RecordBatch:
         self._records = None
         return self
 
+    # -- projection -----------------------------------------------------------
+
+    def select(self, columns: Iterable[str]) -> "RecordBatch":
+        """A batch keeping only ``columns``; the rest become pruned.
+
+        Kept columns are shared (no copy).  Pruned columns are replaced by
+        :class:`PrunedColumn` sentinels that remember the row count but
+        hold no data — for string columns the intern table (codes and
+        value list) is dropped entirely, which is where the memory win
+        lives.  Selecting every column returns ``self`` unchanged (the
+        no-copy fast path).  An unknown column name raises ``KeyError``
+        naming it.  Pruned batches drop any cached record objects: a row
+        view over missing columns would be a lie.
+        """
+        keep = frozenset(columns)
+        for name in keep:
+            if name not in ALL_COLUMNS:
+                raise KeyError(name)
+        if keep.issuperset(ALL_COLUMNS):
+            return self
+        length = len(self)
+        kwargs = {
+            name: getattr(self, name) if name in keep else PrunedColumn(name, length)
+            for name in ALL_COLUMNS
+        }
+        return RecordBatch(records=None, **kwargs)
+
+    @property
+    def pruned_columns(self) -> tuple[str, ...]:
+        """Names of columns projection pushdown dropped from this batch."""
+        return tuple(
+            name for name in ALL_COLUMNS if isinstance(getattr(self, name), PrunedColumn)
+        )
+
     # -- record views ---------------------------------------------------------
 
     def record_at(self, index: int) -> LogRecord:
@@ -377,18 +485,18 @@ class RecordBatch:
 
     @property
     def nbytes(self) -> int:
-        """Approximate memory footprint of the column arrays."""
-        total = (
-            self.timestamp.nbytes
-            + self.object_size.nbytes
-            + self.bytes_served.nbytes
-            + self.status_code.nbytes
-            + self.chunk_index.nbytes
-            + self.cache_status.nbytes
-            + self.category.nbytes
-        )
+        """Approximate memory footprint of the column arrays.
+
+        Pruned columns contribute 0 bytes, so ``full.nbytes −
+        full.select(cols).nbytes`` measures what projection freed.
+        """
+        total = 0
+        for name in NUMERIC_FIELDS:
+            total += getattr(self, name).nbytes
         for name in STRING_FIELDS:
-            column: StringColumn = getattr(self, name)
+            column = getattr(self, name)
+            if isinstance(column, PrunedColumn):
+                continue
             total += column.codes.nbytes
         return total
 

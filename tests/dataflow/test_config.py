@@ -20,6 +20,7 @@ PRECEDENCE_CASES: dict[str, tuple[str, object, object, object]] = {
     "scale": ("tiny", "tiny", "medium", "tiny"),
     "batch_size": ("1024", 1024, 2048, 4096),
     "keep_store": ("false", False, True, False),
+    "projection": ("off", False, True, False),
     "engine": ("record", "record", "batch", "record"),
     "sim_workers": ("2", 2, 3, 4),
     "sim_queue_depth": ("16", 16, 32, 64),
@@ -110,6 +111,7 @@ class TestValidation:
             {"sim_queue_depth": 0},
             {"dtw_workers": 0},
             {"keep_store": "yes"},
+            {"projection": "on"},
             {"run_clustering": 1},
             {"seed": "0"},
         ],

@@ -1,0 +1,558 @@
+"""Projection pushdown: pruning equivalence, build-time validation, telemetry.
+
+The contract under test (DESIGN.md §10): stages declare the batch columns
+they read, the plan prunes everything else once at the batch source, and
+the pruned run is *bit-identical* to the unpruned one — reports and
+written traces — across seeds, worker counts, queue depths and store
+modes.  Declarations that cannot be satisfied fail at build time with
+:class:`~repro.errors.ProjectionError` naming the stage and the missing
+column, never silently at drain time.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdn.simulator import CdnSimulator, sized_simulation_config
+from repro.core.aggregate import (
+    ContentCompositionPass,
+    DeviceCompositionPass,
+    HourlyVolumePass,
+    TrafficCompositionPass,
+)
+from repro.core.caching import ResponseCodePass
+from repro.core.dataset import INGEST_COLUMNS, IngestStage, TraceDataset
+from repro.core.accumulate import AGGREGATE_COLUMNS, SCAN_TABLE_COLUMNS
+from repro.core.passes import PassSweepStage
+from repro.core.report import Study, StudyStage
+from repro.core.users import (
+    AddictionPass,
+    InterarrivalPass,
+    RepeatedAccessPass,
+    SessionLengthPass,
+)
+from repro.dataflow import FULL_SCHEMA, Plan, RunConfig, StageStats, render_stage_stats
+from repro.errors import PlanError, ProjectionError
+from repro.trace.batch import ALL_COLUMNS, PrunedColumn, RecordBatch
+from repro.trace.writer import TraceWriteStage, write_trace_batches
+from repro.types import ContentCategory
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import profile_p1, profile_v1
+from repro.workload.scale import ScaleConfig
+
+PROFILES = (profile_v1(), profile_p1())
+
+
+def tiny_config(**overrides) -> RunConfig:
+    return RunConfig.resolve(env={}, scale=ScaleConfig.tiny(), **overrides)
+
+
+def simulated_batches(seed: int = 5):
+    """A tiny simulated trace as a list of full-schema batches."""
+    generator = WorkloadGenerator(profiles=PROFILES, scale=ScaleConfig.tiny(), seed=seed)
+    workloads = generator.generate_all()
+    catalogs = {name: workload.catalog for name, workload in workloads.items()}
+    sim_config = sized_simulation_config(catalogs.values(), seed)
+    simulator = CdnSimulator(profiles=generator.profiles, config=sim_config)
+    simulator.warm(catalogs.values())
+    return list(simulator.run_batches(generator.merged_request_batches(workloads)))
+
+
+@pytest.fixture(scope="module")
+def batches():
+    return simulated_batches()
+
+
+class ProbeStage:
+    """Pass-through stage with an explicit column declaration, recording
+    every batch that flows through it."""
+
+    def __init__(self, required: frozenset[str] = frozenset(), name: str = "probe"):
+        self.name = name
+        self._required = required
+        self.seen: list[RecordBatch] = []
+
+    def required_columns(self, config) -> frozenset[str]:
+        return self._required
+
+    def connect(self, upstream, config):
+        return self._tee(upstream)
+
+    def _tee(self, upstream):
+        for batch in upstream:
+            self.seen.append(batch)
+            yield batch
+
+
+class UndeclaredProbe:
+    """Pass-through stage with NO required_columns hook (legacy stage)."""
+
+    name = "undeclared"
+
+    def __init__(self):
+        self.seen: list[RecordBatch] = []
+
+    def connect(self, upstream, config):
+        return self._tee(upstream)
+
+    def _tee(self, upstream):
+        for batch in upstream:
+            self.seen.append(batch)
+            yield batch
+
+
+#: Pruned-vs-unpruned reports memoised per (seed, keep_store) so the
+#: hypothesis grid recomputes only the pruned side per example.
+_unpruned_reports: dict[tuple[int, bool], object] = {}
+
+
+class TestPruningEquivalence:
+    """The acceptance property: pruned plans are bit-identical to unpruned."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2),
+        sim_workers=st.integers(min_value=1, max_value=2),
+        sim_queue_depth=st.sampled_from([64, 8192]),
+        keep_store=st.booleans(),
+    )
+    def test_reports_bit_identical_across_grid(
+        self, seed, sim_workers, sim_queue_depth, keep_store
+    ):
+        def build(projection: bool):
+            config = tiny_config(
+                seed=seed,
+                keep_store=keep_store,
+                sim_workers=sim_workers,
+                sim_queue_depth=sim_queue_depth,
+                run_clustering=False,
+                projection=projection,
+            )
+            result = Plan(config).generate(PROFILES).simulate().ingest().analyze().run()
+            assert result.report is not None
+            return result.report
+
+        pruned = build(projection=True)
+        key = (seed, keep_store)
+        if key not in _unpruned_reports:
+            _unpruned_reports[key] = build(projection=False)
+        assert pruned.to_summary_dict() == _unpruned_reports[key].to_summary_dict()
+
+    def test_written_traces_byte_identical(self, tmp_path):
+        # A write tee pins the full schema, so the pruned plan must write
+        # the exact same bytes the unpruned one does.
+        paths = {}
+        for projection in (True, False):
+            path = tmp_path / f"projection_{projection}.bin"
+            config = tiny_config(seed=4, keep_store=False, projection=projection)
+            result = (
+                Plan(config)
+                .generate(PROFILES)
+                .simulate()
+                .write_trace(path)
+                .ingest()
+                .analyze()
+                .run()
+            )
+            assert result.report is not None
+            paths[projection] = path
+        assert paths[True].read_bytes() == paths[False].read_bytes()
+
+    def test_write_tee_pins_full_schema(self, tmp_path):
+        config = tiny_config(seed=4, keep_store=False, projection=True)
+        result = (
+            Plan(config)
+            .generate(PROFILES)
+            .simulate()
+            .write_trace(tmp_path / "t.bin")
+            .ingest()
+            .run()
+        )
+        by_name = {s.name: s for s in result.stage_stats}
+        assert by_name["simulate"].bytes_pruned == 0
+        assert by_name["simulate"].columns_out == len(FULL_SCHEMA)
+
+    def test_read_trace_plan_bit_identical(self, tmp_path, batches):
+        path = tmp_path / "trace.bin"
+        write_trace_batches(batches, path)
+        reports = {}
+        for projection in (True, False):
+            config = tiny_config(
+                seed=5, keep_store=False, run_clustering=False, projection=projection
+            )
+            result = Plan(config).read_trace(path).ingest().analyze().run()
+            assert result.report is not None
+            reports[projection] = result.report
+        assert reports[True].to_summary_dict() == reports[False].to_summary_dict()
+
+    def test_source_batches_plan_bit_identical(self, batches):
+        reports = {}
+        for projection in (True, False):
+            config = tiny_config(
+                seed=5, keep_store=False, run_clustering=False, projection=projection
+            )
+            result = Plan(config).source_batches(batches).ingest().analyze().run()
+            reports[projection] = result.report.to_summary_dict()
+        assert reports[True] == reports[False]
+
+
+class TestBuildTimeValidation:
+    """Unsatisfiable column dependencies fail before any block flows."""
+
+    def storeless(self, **overrides):
+        return tiny_config(keep_store=False, **overrides)
+
+    def test_projection_error_is_a_plan_error(self):
+        assert issubclass(ProjectionError, PlanError)
+
+    @pytest.mark.parametrize("only", sorted(ALL_COLUMNS))
+    def test_single_column_source_cannot_feed_ingest(self, only, batches):
+        # Whatever single column the source provides, the storeless ingest
+        # needs more — the plan must refuse to build.
+        plan = Plan(self.storeless()).source_batches(batches, columns={only}).ingest()
+        with pytest.raises(ProjectionError, match="'ingest' requires column"):
+            plan.run()
+
+    def test_error_names_stage_and_missing_column(self, batches):
+        provided = INGEST_COLUMNS - {"user_id"}
+        plan = Plan(self.storeless()).source_batches(batches, columns=provided).ingest()
+        with pytest.raises(ProjectionError, match=r"'ingest' requires column 'user_id'"):
+            plan.run()
+
+    def test_error_names_the_source_stage(self, batches):
+        plan = (
+            Plan(self.storeless())
+            .source_batches(batches, columns={"timestamp"}, name="fixture")
+            .ingest()
+        )
+        with pytest.raises(ProjectionError, match="source stage 'fixture'"):
+            plan.run()
+
+    @pytest.mark.parametrize("bogus", ["chunk", "object", "sizes", "ts", "Site"])
+    def test_unknown_required_column_rejected(self, bogus, batches):
+        probe = ProbeStage(required=frozenset({bogus}))
+        plan = Plan(self.storeless()).source_batches(batches).add(
+            probe, requires="batches", produces="batches"
+        )
+        with pytest.raises(ProjectionError, match=f"unknown column {bogus!r}"):
+            plan.run()
+
+    def test_unknown_provided_column_rejected(self, batches):
+        plan = Plan(self.storeless()).source_batches(
+            batches, columns={"timestamp", "nope"}
+        )
+        probe = ProbeStage(required=frozenset({"timestamp"}))
+        plan.add(probe, requires="batches", produces="batches")
+        with pytest.raises(ProjectionError, match="unknown column 'nope'"):
+            plan.run()
+
+    def test_validation_fires_even_with_projection_off(self, batches):
+        plan = (
+            Plan(self.storeless(projection=False))
+            .source_batches(batches, columns={"timestamp"})
+            .ingest()
+        )
+        with pytest.raises(ProjectionError, match="'ingest' requires column"):
+            plan.run()
+
+    def test_undeclared_stage_pins_full_schema(self, batches):
+        # A stage without the hook conservatively needs everything, so a
+        # partial source cannot feed it.
+        plan = Plan(self.storeless()).source_batches(batches, columns=INGEST_COLUMNS)
+        plan.add(UndeclaredProbe(), requires="batches", produces="batches")
+        with pytest.raises(ProjectionError, match="'undeclared' requires column"):
+            plan.run()
+
+    def test_keep_store_ingest_needs_full_rows(self, batches):
+        plan = (
+            Plan(tiny_config(keep_store=True))
+            .source_batches(batches, columns=INGEST_COLUMNS)
+            .ingest()
+        )
+        with pytest.raises(ProjectionError, match="'ingest' requires column"):
+            plan.run()
+
+    def test_error_raised_before_any_batch_flows(self, batches):
+        pulled = []
+
+        def source():
+            for batch in batches:
+                pulled.append(batch)
+                yield batch
+
+        plan = Plan(self.storeless()).source_batches(source(), columns={"site"}).ingest()
+        with pytest.raises(ProjectionError):
+            plan.run()
+        assert pulled == []
+
+    def test_derive_stage_declarations_validated(self, batches):
+        # StudyStage needs the scan-table columns; a source without them
+        # fails at build time even though derive runs post-drain.
+        plan = (
+            Plan(self.storeless())
+            .source_batches(batches, columns=AGGREGATE_COLUMNS)
+            .ingest()
+        )
+        plan.add_derive(StudyStage())
+        with pytest.raises(ProjectionError, match="'ingest' requires column"):
+            plan.run()
+
+
+class TestPrunedFlow:
+    """What actually flows downstream of a pruned source."""
+
+    def test_storeless_plan_prunes_chunk_index(self, batches):
+        probe = ProbeStage(required=frozenset())
+        config = tiny_config(keep_store=False, run_clustering=False)
+        plan = Plan(config).source_batches(batches)
+        plan.add(probe, requires="batches", produces="batches")
+        plan.ingest().analyze().run()
+        assert probe.seen
+        for batch in probe.seen:
+            assert batch.pruned_columns == ("chunk_index",)
+
+    def test_keep_store_plan_prunes_nothing(self, batches):
+        probe = ProbeStage(required=frozenset())
+        plan = Plan(tiny_config(keep_store=True)).source_batches(batches)
+        plan.add(probe, requires="batches", produces="batches")
+        plan.ingest().run()
+        assert probe.seen
+        for batch in probe.seen:
+            assert batch.pruned_columns == ()
+
+    def test_projection_off_prunes_nothing(self, batches):
+        probe = ProbeStage(required=frozenset({"timestamp"}))
+        plan = Plan(tiny_config(projection=False)).source_batches(batches)
+        plan.add(probe, requires="batches", produces="batches")
+        plan.run()
+        assert probe.seen
+        for batch in probe.seen:
+            assert batch.pruned_columns == ()
+
+    def test_narrow_probe_drops_string_intern_tables(self, batches):
+        probe = ProbeStage(required=frozenset({"timestamp", "site"}))
+        plan = Plan(tiny_config()).source_batches(batches)
+        plan.add(probe, requires="batches", produces="batches")
+        plan.run()
+        assert probe.seen
+        full = batches[0]
+        pruned = probe.seen[0]
+        assert len(pruned) == len(full)
+        assert set(pruned.pruned_columns) == set(ALL_COLUMNS) - {"timestamp", "site"}
+        assert pruned.nbytes < full.nbytes
+        with pytest.raises(ProjectionError, match="'object_id' was pruned"):
+            pruned.object_id.values
+        with pytest.raises(ProjectionError, match="'user_agent' was pruned"):
+            pruned.user_agent.tolist()
+        # Kept columns are shared, not copied.
+        assert pruned.timestamp is full.timestamp
+        assert pruned.site is full.site
+
+    def test_union_of_declarations_is_what_survives(self, batches):
+        first = ProbeStage(required=frozenset({"timestamp"}), name="first")
+        second = ProbeStage(required=frozenset({"site", "bytes_served"}), name="second")
+        plan = Plan(tiny_config()).source_batches(batches)
+        plan.add(first, requires="batches", produces="batches")
+        plan.add(second, requires="batches", produces="batches")
+        plan.run()
+        kept = {"timestamp", "site", "bytes_served"}
+        for batch in first.seen + second.seen:
+            assert set(ALL_COLUMNS) - set(batch.pruned_columns) == kept
+
+
+class TestDeclarations:
+    """Every stage and pass of the canonical plan declares its reads."""
+
+    BATTERY_PASSES = [
+        ContentCompositionPass(None),
+        TrafficCompositionPass(),
+        HourlyVolumePass(),
+        DeviceCompositionPass(),
+        ResponseCodePass(),
+        InterarrivalPass(),
+        SessionLengthPass(),
+        AddictionPass(ContentCategory.VIDEO),
+        AddictionPass(ContentCategory.IMAGE),
+        RepeatedAccessPass("v1.example", ContentCategory.VIDEO),
+    ]
+
+    @pytest.mark.parametrize(
+        "analysis_pass", BATTERY_PASSES, ids=lambda p: type(p).__name__
+    )
+    def test_every_battery_pass_declares_within_schema(self, analysis_pass):
+        required = getattr(analysis_pass, "required_columns", None)
+        assert required is not None
+        assert frozenset(required) <= FULL_SCHEMA
+
+    def test_scan_passes_declare_their_columns(self):
+        assert HourlyVolumePass.required_columns == frozenset(
+            {"site", "datacenter", "timestamp", "bytes_served"}
+        )
+        assert ResponseCodePass.required_columns == frozenset(
+            {"site", "category", "status_code"}
+        )
+
+    def test_index_level_passes_declare_nothing(self):
+        for cls in (
+            ContentCompositionPass,
+            TrafficCompositionPass,
+            DeviceCompositionPass,
+            InterarrivalPass,
+            SessionLengthPass,
+            AddictionPass,
+            RepeatedAccessPass,
+        ):
+            assert cls.required_columns == frozenset()
+
+    def test_ingest_stage_declares_by_store_mode(self):
+        stage = IngestStage()
+        assert stage.required_columns(tiny_config(keep_store=True)) is None
+        storeless = stage.required_columns(tiny_config(keep_store=False))
+        assert storeless == INGEST_COLUMNS
+        assert storeless == AGGREGATE_COLUMNS | SCAN_TABLE_COLUMNS
+        assert "chunk_index" not in storeless
+
+    def test_study_stage_declares_battery_union(self):
+        stage = StudyStage()
+        assert stage.required_columns(tiny_config()) == (
+            HourlyVolumePass.required_columns | ResponseCodePass.required_columns
+        )
+
+    def test_write_stage_pins_full_schema(self, tmp_path):
+        stage = TraceWriteStage(tmp_path / "t.bin")
+        assert stage.required_columns(tiny_config()) is None
+
+    def test_pass_sweep_unions_declared_passes(self):
+        stage = PassSweepStage([HourlyVolumePass(), ResponseCodePass()])
+        assert stage.required_columns(tiny_config()) == (
+            HourlyVolumePass.required_columns | ResponseCodePass.required_columns
+        )
+
+    def test_pass_sweep_with_no_passes_needs_nothing(self):
+        assert PassSweepStage([]).required_columns(tiny_config()) == frozenset()
+
+    def test_pass_sweep_undeclared_pass_pins_full_schema(self):
+        class LegacyPass:
+            name = "legacy"
+
+            def begin(self, dataset):
+                pass
+
+            def process(self, chunk):
+                pass
+
+            def finish(self):
+                return None
+
+        stage = PassSweepStage([HourlyVolumePass(), LegacyPass()])
+        assert stage.required_columns(tiny_config()) is None
+
+    def test_full_schema_matches_batch_columns(self):
+        assert FULL_SCHEMA == frozenset(ALL_COLUMNS)
+        assert len(ALL_COLUMNS) == 13
+
+
+class TestTelemetry:
+    @pytest.fixture(scope="class")
+    def storeless_result(self):
+        config = tiny_config(seed=6, keep_store=False, run_clustering=False)
+        return Plan(config).generate(PROFILES).simulate().ingest().analyze().run()
+
+    def test_source_stage_reports_column_narrowing(self, storeless_result):
+        by_name = {s.name: s for s in storeless_result.stage_stats}
+        simulate = by_name["simulate"]
+        assert simulate.columns_in == len(FULL_SCHEMA)
+        assert simulate.columns_out == len(FULL_SCHEMA) - 1  # chunk_index dropped
+        assert by_name["ingest"].columns_in == simulate.columns_out
+        assert by_name["ingest"].columns_out == simulate.columns_out
+
+    def test_bytes_pruned_accounts_for_chunk_index(self, storeless_result):
+        by_name = {s.name: s for s in storeless_result.stage_stats}
+        simulate = by_name["simulate"]
+        # chunk_index is int64: exactly 8 bytes per emitted row.
+        assert simulate.bytes_pruned == simulate.rows * 8
+        assert by_name["ingest"].bytes_pruned == 0
+
+    def test_rendered_table_reports_bytes_pruned(self, storeless_result):
+        text = storeless_result.render_stats()
+        assert "bytes_pruned" in text
+        assert re.search(r"cols 13->12 bytes_pruned [\d,]+", text)
+
+    def test_unprojected_stats_render_without_column_segment(self):
+        line = StageStats(name="generate", rows=10, batches=1).render()
+        assert "bytes_pruned" not in line and "cols" not in line
+
+    def test_long_stage_names_stay_aligned(self):
+        stats = [
+            StageStats(name="x", rows=1, batches=1, wall_seconds=1.0),
+            StageStats(
+                name="a_stage_name_far_beyond_twelve_chars",
+                rows=1_000_000,
+                batches=9,
+                wall_seconds=2.0,
+            ),
+        ]
+        lines = render_stage_stats(stats).splitlines()
+        assert lines[0] == "dataflow plan:"
+        offsets = {line.index(" rows ") for line in lines[1:]}
+        assert len(offsets) == 1  # the row-count column starts at one offset
+        batch_offsets = {line.index(" batches ") for line in lines[1:]}
+        assert len(batch_offsets) == 1
+
+    def test_short_names_keep_the_legacy_width(self):
+        # A table of short names must render exactly as before the fix
+        # (12-char name column), so existing telemetry greps keep working.
+        line = StageStats(name="simulate", rows=5, batches=1, wall_seconds=1.0).render()
+        assert line.startswith("stage simulate     ")
+
+
+class TestIngestBoundary:
+    """DatasetBuilder / from_batches / from_file column pruning."""
+
+    def test_pruned_from_batches_matches_unpruned(self, batches):
+        pruned = TraceDataset.from_batches(
+            batches, keep_store=False, columns=INGEST_COLUMNS
+        )
+        full = TraceDataset.from_batches(batches, keep_store=False)
+        assert len(pruned) == len(full)
+        assert pruned.sites == full.sites
+        assert pruned.site_extents() == full.site_extents()
+        pruned_report = Study(run_clustering=False).run(pruned)
+        full_report = Study(run_clustering=False).run(full)
+        assert pruned_report.to_summary_dict() == full_report.to_summary_dict()
+
+    def test_pruned_ingest_resident_bytes_shrink(self, batches):
+        pruned = TraceDataset.from_batches(
+            batches, keep_store=False, columns=INGEST_COLUMNS
+        )
+        full = TraceDataset.from_batches(batches, keep_store=False)
+        assert pruned.ingest_stats is not None and full.ingest_stats is not None
+        assert (
+            pruned.ingest_stats.peak_resident_bytes
+            < full.ingest_stats.peak_resident_bytes
+        )
+
+    def test_from_file_with_columns_matches(self, tmp_path, batches):
+        path = tmp_path / "trace.bin"
+        write_trace_batches(batches, path)
+        pruned = TraceDataset.from_file(
+            path, batch_size=512, keep_store=False, columns=INGEST_COLUMNS
+        )
+        full = TraceDataset.from_file(path, batch_size=512, keep_store=False)
+        assert Study(run_clustering=False).run(pruned).to_summary_dict() == Study(
+            run_clustering=False
+        ).run(full).to_summary_dict()
+
+    def test_columns_with_keep_store_rejected(self, batches):
+        with pytest.raises(ProjectionError, match="keep_store=False"):
+            TraceDataset.from_batches(batches, keep_store=True, columns=INGEST_COLUMNS)
+
+    @pytest.mark.parametrize("dropped", sorted(INGEST_COLUMNS))
+    def test_missing_required_column_rejected_up_front(self, dropped, batches):
+        columns = INGEST_COLUMNS - {dropped}
+        with pytest.raises(ProjectionError, match=f"requires column {dropped!r}"):
+            TraceDataset.from_batches(batches, keep_store=False, columns=columns)
