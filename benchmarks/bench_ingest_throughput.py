@@ -62,7 +62,7 @@ def test_ingest_throughput(pipeline_result):
         store.rows(start, min(start + chunk_rows, total)).drop_records()
         for start in range(0, total, chunk_rows)
     ]
-    full_store_bytes = sum(batch.nbytes for batch in streamed)
+    full_store_bytes = sum(batch.resident_nbytes for batch in streamed)
     streaming_seconds = _best_of(
         lambda: TraceDataset.from_batches(streamed, keep_store=False)
     )
@@ -74,19 +74,42 @@ def test_ingest_throughput(pipeline_result):
     # Peak row memory is one in-flight batch, not the full store: the trace
     # is >= 10x one batch, yet resident rows at the peak stay bounded by a
     # single chunk on top of the (O(users+objects+timestamps)) aggregates.
-    max_batch_bytes = max(batch.nbytes for batch in streamed)
+    # Batches are measured by resident_nbytes (columns + intern tables),
+    # the same figure the peak estimate accumulates.
+    max_batch_bytes = max(batch.resident_nbytes for batch in streamed)
     assert full_store_bytes >= 10 * max_batch_bytes
     assert stats.peak_resident_bytes - stats.aggregate_bytes <= 2 * max_batch_bytes
     assert stats.peak_resident_bytes < stats.aggregate_bytes + full_store_bytes
 
+    # Spilled leg: the same streaming ingest under a pathological 1-byte
+    # memory budget, forcing every timestamp pack to disk.  The output must
+    # stay identical; the cost of the external merge is what gets recorded.
+    spill_budget = 1
+    spilled_seconds = _best_of(
+        lambda: TraceDataset.from_batches(
+            streamed, keep_store=False, memory_budget=spill_budget
+        )
+    )
+    spilled = TraceDataset.from_batches(
+        streamed, keep_store=False, memory_budget=spill_budget
+    )
+    spill_stats = spilled.ingest_stats
+    assert spill_stats is not None
+    assert spill_stats.spill_files > 0
+    assert spill_stats.bytes_spilled == spill_stats.bytes_restored > 0
+    # Spilling strictly lowers the peak: the evicted pack bytes no longer
+    # accumulate in memory across batches.
+    assert spill_stats.peak_resident_bytes <= stats.peak_resident_bytes
+
     # Equivalence spot checks: both engines index the trace identically.
     reference = TraceDataset.from_records(records, engine="record")
     columnar = TraceDataset.from_batches(stripped)
-    assert len(reference) == len(columnar) == len(streaming) == total
-    assert reference.sites == columnar.sites == streaming.sites
+    assert len(reference) == len(columnar) == len(streaming) == len(spilled) == total
+    assert reference.sites == columnar.sites == streaming.sites == spilled.sites
     assert reference.duration_seconds == columnar.duration_seconds
     assert list(reference.object_stats) == list(columnar.object_stats)
     assert list(reference.object_stats) == list(streaming.object_stats)
+    assert list(reference.object_stats) == list(spilled.object_stats)
     some_object = next(iter(reference.object_stats))
     assert reference.object_stats[some_object] == columnar.object_stats[some_object]
     assert reference.object_stats[some_object] == streaming.object_stats[some_object]
@@ -104,6 +127,12 @@ def test_ingest_throughput(pipeline_result):
         f"  streaming (no store): {streaming_seconds:8.3f}s over {stats.batches} batches, "
         f"peak resident ~{stats.peak_resident_bytes / 1e6:.1f} MB "
         f"vs full store ~{full_store_bytes / 1e6:.1f} MB"
+    )
+    print(
+        f"  spilled (budget={spill_budget}B): {spilled_seconds:8.3f}s, "
+        f"{spill_stats.spill_files} segments, "
+        f"{spill_stats.bytes_spilled / 1e6:.1f} MB spilled, "
+        f"peak resident ~{spill_stats.peak_resident_bytes / 1e6:.1f} MB"
     )
 
     record_extra(
@@ -125,6 +154,17 @@ def test_ingest_throughput(pipeline_result):
             "aggregate_bytes": stats.aggregate_bytes,
             "full_store_bytes": full_store_bytes,
             "resident_series": list(stats.resident_series),
+        },
+        spill={
+            "memory_budget": spill_budget,
+            "unspilled_seconds": round(streaming_seconds, 6),
+            "spilled_seconds": round(spilled_seconds, 6),
+            "spill_files": spill_stats.spill_files,
+            "bytes_spilled": spill_stats.bytes_spilled,
+            "bytes_restored": spill_stats.bytes_restored,
+            "spill_seconds": round(spill_stats.spill_seconds, 6),
+            "unspilled_peak_resident_bytes": stats.peak_resident_bytes,
+            "spilled_peak_resident_bytes": spill_stats.peak_resident_bytes,
         },
     )
     assert speedup >= 5.0

@@ -24,11 +24,13 @@ import time
 from conftest import BENCH_SEED, print_header, record_extra
 
 from repro.cdn.simulator import CdnSimulator, SimulationConfig
+from repro.spill import MemoryBudget, SpillPool
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import ALL_PROFILES
 from repro.workload.scale import ScaleConfig
 
 PARALLEL_WORKERS = 4
+SPILL_BUDGET = 1  # pathological: every buffered merge block hits disk
 
 
 def _fresh_simulator(profiles, catalogs, capacity: int) -> CdnSimulator:
@@ -62,18 +64,41 @@ def test_simulate_throughput(benchmark):
         runs["sequential"] = _timed_run(seq_sim, requests, workers=1), seq_sim
         par_sim = _fresh_simulator(profiles, catalogs, capacity)
         runs["parallel"] = _timed_run(par_sim, requests, workers=PARALLEL_WORKERS), par_sim
+        # Spilled leg: same parallel run under a 1-byte memory budget, so
+        # every buffered frontier block round-trips through disk.
+        spill_sim = _fresh_simulator(profiles, catalogs, capacity)
+        with SpillPool(MemoryBudget(SPILL_BUDGET)) as pool:
+            start = time.perf_counter()
+            batches = list(
+                spill_sim.run_batches(
+                    iter(requests), workers=PARALLEL_WORKERS, spill_pool=pool
+                )
+            )
+            seconds = time.perf_counter() - start
+        spill_records = [record for batch in batches for record in batch.iter_records()]
+        runs["spilled"] = (seconds, spill_records), spill_sim
         return runs
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     (seq_seconds, seq_records), seq_sim = runs["sequential"]
     (par_seconds, par_records), par_sim = runs["parallel"]
+    (spill_seconds, spill_records), spill_sim = runs["spilled"]
     total = len(seq_records)
 
     # The whole point: parallel output is bit-identical to sequential.
     assert par_records == seq_records
     assert par_sim.metrics == seq_sim.metrics
     assert par_sim.cache_stats() == seq_sim.cache_stats()
+
+    # ...and spilling through disk changes nothing about the output either.
+    assert spill_records == seq_records
+    assert spill_sim.metrics == seq_sim.metrics
+    assert spill_sim.cache_stats() == seq_sim.cache_stats()
+    spill_stats = spill_sim.sim_stats
+    assert spill_stats is not None
+    assert spill_stats.spill_files > 0
+    assert spill_stats.bytes_spilled == spill_stats.bytes_restored > 0
 
     seq_stats, par_stats = seq_sim.sim_stats, par_sim.sim_stats
     assert seq_stats is not None and par_stats is not None
@@ -93,6 +118,11 @@ def test_simulate_throughput(benchmark):
     )
     print(f"  measured speedup:  {speedup:.2f}x on {cpu_count} cpu core(s)")
     print(f"  ideal speedup:     {par_stats.ideal_speedup:.2f}x (shard balance bound)")
+    print(
+        f"  spilled (budget={SPILL_BUDGET}B): {spill_seconds:8.2f}s  "
+        f"{spill_stats.spill_files} segments, "
+        f"{spill_stats.bytes_spilled / 1e6:.1f} MB spilled"
+    )
     for shard in par_stats.shards:
         if shard.queue_depth:
             print(
@@ -123,6 +153,16 @@ def test_simulate_throughput(benchmark):
                 }
                 for shard in par_stats.shards
             ],
+        },
+        spill={
+            "memory_budget": SPILL_BUDGET,
+            "unspilled_seconds": round(par_seconds, 6),
+            "spilled_seconds": round(spill_seconds, 6),
+            "spill_files": spill_stats.spill_files,
+            "bytes_spilled": spill_stats.bytes_spilled,
+            "bytes_restored": spill_stats.bytes_restored,
+            "spill_seconds": round(spill_stats.spill_seconds, 6),
+            "spilled_matches_sequential": spill_records == seq_records,
         },
     )
 

@@ -67,6 +67,7 @@ from repro.cdn.server import EdgeServer
 from repro.stats.sampling import counter_rng
 from repro.trace.anonymize import Anonymizer
 from repro.trace.batch import (
+    ALL_COLUMNS,
     BatchBuilder,
     DEFAULT_BATCH_SIZE,
     RecordBatch,
@@ -257,6 +258,13 @@ class SimStats:
     #: (staged block plus all in-flight dispatch windows) — the memory
     #: bound the bounded queues buy, compared against the stream length.
     peak_resident_requests: int = 0
+    #: Spill activity of the frontier merge under a memory budget (all
+    #: zero when nothing spilt): segments written, payload bytes out/in,
+    #: and time spent on spill I/O.
+    spill_files: int = 0
+    bytes_spilled: int = 0
+    bytes_restored: int = 0
+    spill_seconds: float = 0.0
 
     @property
     def records_per_sec(self) -> float:
@@ -659,6 +667,46 @@ class _ShardChannel:
         self.inflight -= count
 
 
+class _MergeBlock:
+    """One acked result block inside the frontier merge, resident or spilled.
+
+    Resident: ``rids`` (int64 request ids) plus the columnar ``batch``;
+    record objects and a plain-python rid list are materialised lazily the
+    first time the block reaches the merge head.  Spilled: ``segment``
+    names the on-disk columnar copy and only ``first_rid``/``rows`` stay
+    in memory.  ``cursor`` is the next row to emit (always 0 while
+    spilled: only unconsumed blocks are evictable).
+    """
+
+    __slots__ = ("rids", "batch", "records", "rid_values", "cursor", "nbytes", "segment", "first_rid", "rows")
+
+    def __init__(self, rids: np.ndarray, batch: "RecordBatch | Iterable"):
+        self.rids = rids
+        self.cursor = 0
+        self.segment = None
+        self.first_rid = int(rids[0])
+        self.rows = int(rids.size)
+        if isinstance(batch, RecordBatch):
+            self.batch: RecordBatch | None = batch
+            self.records: list[LogRecord] | None = None
+            self.rid_values: list[int] | None = None
+            self.nbytes = rids.nbytes + batch.resident_nbytes
+        else:
+            # Plain record iterable (property tests, ad-hoc callers):
+            # materialise eagerly; no columnar copy exists to spill.
+            self.batch = None
+            self.records = list(batch)
+            self.rid_values = rids.tolist()
+            self.nbytes = rids.nbytes
+
+    def head_rid(self) -> int:
+        if self.segment is not None or self.cursor == 0:
+            return self.first_rid
+        if self.rid_values is not None:
+            return self.rid_values[self.cursor]
+        return int(self.rids[self.cursor])
+
+
 class _FrontierMerger:
     """Incremental k-way merge of per-shard ``(request_id, record)`` streams.
 
@@ -669,19 +717,90 @@ class _FrontierMerger:
     :meth:`_ShardChannel.frontier`) — reproduces the sequential emission
     order exactly, including a playback request's contiguous multi-record
     run (equal ids are drained from one shard before re-scanning).
+
+    Buffering is *columnar*: each acked worker batch is kept as one
+    :class:`_MergeBlock` (ids + columns) instead of per-record tuples, and
+    record objects are only materialised when a block reaches the merge
+    head.  With a spill handle attached (:meth:`attach_spill`), buffered
+    blocks past the memory budget are evicted to disk segments — largest
+    first, never a shard's head block (the one the merge may be midway
+    through) — and restored in frontier order when emission reaches them,
+    so the emitted stream is bit-identical at any budget.
     """
 
     def __init__(self, keys: Iterable[tuple[str, int]]):
-        self._buffers: dict[tuple[str, int], deque[tuple[int, LogRecord]]] = {
+        self._buffers: dict[tuple[str, int], deque[_MergeBlock]] = {
             key: deque() for key in keys
         }
         self.buffered = 0
+        self._handle = None
+        self._resident_bytes = 0
 
-    def push(self, key: tuple[str, int], rids: list[int], records: Iterable[LogRecord]) -> None:
-        buffer = self._buffers[key]
-        for pair in zip(rids, records):
-            buffer.append(pair)
-        self.buffered += len(rids)
+    def attach_spill(self, pool) -> None:
+        """Register as an evictable spill-pool participant."""
+        self._handle = pool.register(
+            "frontier-merge",
+            evictable_bytes=self.evictable_bytes,
+            spill=self.spill_blocks,
+        )
+
+    def push(self, key: tuple[str, int], rids: np.ndarray, batch: RecordBatch) -> None:
+        rids = np.ascontiguousarray(rids, dtype=np.int64)
+        block = _MergeBlock(rids, batch)
+        self._buffers[key].append(block)
+        self.buffered += block.rows
+        self._resident_bytes += block.nbytes
+        if self._handle is not None:
+            self._handle.set_level(self._resident_bytes)
+
+    # -- spilling -------------------------------------------------------------
+
+    def _evictable(self) -> Iterator[_MergeBlock]:
+        # Head blocks (index 0) are never evicted: the merge may be midway
+        # through one, and a freshly restored head must not thrash back out.
+        for buffer in self._buffers.values():
+            for index in range(1, len(buffer)):
+                block = buffer[index]
+                if block.segment is None and block.batch is not None:
+                    yield block
+
+    def evictable_bytes(self) -> int:
+        return sum(block.nbytes for block in self._evictable())
+
+    def spill_blocks(self) -> int:
+        """Evict the largest non-head resident block; returns bytes freed."""
+        best: _MergeBlock | None = None
+        for block in self._evictable():
+            if best is None or block.nbytes > best.nbytes:
+                best = block
+        if best is None or self._handle is None:
+            return 0
+        columns: dict[str, object] = {"request_id": best.rids}
+        for name in ALL_COLUMNS:
+            columns[name] = getattr(best.batch, name)
+        best.segment = self._handle.write_run([columns])
+        freed = best.nbytes
+        best.rids = None  # type: ignore[assignment]
+        best.batch = None  # type: ignore[assignment]
+        best.records = None
+        best.rid_values = None
+        best.nbytes = 0
+        self._resident_bytes -= freed
+        self._handle.set_level(self._resident_bytes)
+        return freed
+
+    def _restore(self, block: _MergeBlock) -> None:
+        [columns] = self._handle.read_run(block.segment)
+        rids = columns.pop("request_id")
+        block.rids = rids
+        block.batch = RecordBatch(records=None, **columns)
+        block.segment = None
+        block.nbytes = rids.nbytes + block.batch.resident_nbytes
+        self._resident_bytes += block.nbytes
+        # Re-charging may evict other (non-head) blocks to make room.
+        self._handle.set_level(self._resident_bytes)
+
+    # -- emission -------------------------------------------------------------
 
     def emit(self, bound: int) -> Iterator[LogRecord]:
         """Every buffered record with id ≤ ``bound``, in global id order."""
@@ -690,14 +809,34 @@ class _FrontierMerger:
             best_key: tuple[str, int] | None = None
             best_rid = -1
             for key, buffer in buffers.items():
-                if buffer and buffer[0][0] <= bound and (best_key is None or buffer[0][0] < best_rid):
-                    best_key, best_rid = key, buffer[0][0]
+                if not buffer:
+                    continue
+                rid = buffer[0].head_rid()
+                if rid <= bound and (best_key is None or rid < best_rid):
+                    best_key, best_rid = key, rid
             if best_key is None:
                 return
             buffer = buffers[best_key]
-            while buffer and buffer[0][0] == best_rid:
-                self.buffered -= 1
-                yield buffer.popleft()[1]
+            # Drain the equal-rid run from this shard before re-scanning
+            # (a playback request's records stay contiguous), crossing
+            # block boundaries if the run spans them.
+            while buffer and buffer[0].head_rid() == best_rid:
+                block = buffer[0]
+                if block.segment is not None:
+                    self._restore(block)
+                if block.records is None:
+                    block.records = block.batch.to_records()
+                    block.rid_values = block.rids.tolist()
+                records = block.records
+                rid_values = block.rid_values
+                while block.cursor < block.rows and rid_values[block.cursor] == best_rid:
+                    record = records[block.cursor]
+                    block.cursor += 1
+                    self.buffered -= 1
+                    yield record
+                if block.cursor >= block.rows:
+                    buffer.popleft()
+                    self._resident_bytes -= block.nbytes
 
 
 class _BatchEmitter:
@@ -873,6 +1012,7 @@ class CdnSimulator:
         batch_size: int = DEFAULT_BATCH_SIZE,
         workers: int | None = None,
         queue_depth: int | None = None,
+        spill_pool=None,
     ) -> Iterator[RecordBatch]:
         """Process requests and yield columnar :class:`RecordBatch` blocks.
 
@@ -903,6 +1043,12 @@ class CdnSimulator:
         raises :class:`~repro.errors.SimulationError` naming the failing
         shard, and the simulator's shards are left exactly as before the
         call, so a retry starts from a consistent state.
+
+        ``spill_pool`` (a :class:`repro.spill.SpillPool`) lets the
+        parallel path's frontier merge evict buffered result blocks to
+        disk past the pool's memory budget and stream them back in
+        frontier order; the output stays bit-identical at any budget.
+        The sequential path buffers nothing, so the pool is unused there.
         """
         if workers is None:
             workers = int(os.environ.get(WORKERS_ENV, "1") or 1)
@@ -913,7 +1059,9 @@ class CdnSimulator:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         self.sim_stats = None
         if workers > 1:
-            return self._run_batches_parallel(requests, batch_size, workers, queue_depth)
+            return self._run_batches_parallel(
+                requests, batch_size, workers, queue_depth, spill_pool
+            )
         return self._run_batches_sequential(requests, batch_size)
 
     def warm(self, catalogs: Iterable) -> int:
@@ -1094,6 +1242,7 @@ class CdnSimulator:
         batch_size: int,
         workers: int,
         queue_depth: int,
+        spill_pool=None,
     ) -> Iterator[RecordBatch]:
         """Streaming producer/consumer dispatch over persistent shard workers.
 
@@ -1126,6 +1275,8 @@ class CdnSimulator:
             )
 
         merger = _FrontierMerger(keys)
+        if spill_pool is not None:
+            merger.attach_spill(spill_pool)
         emitter = _BatchEmitter(batch_size)
         total_inflight = 0
         produced_through = -1
@@ -1155,7 +1306,7 @@ class CdnSimulator:
                 total_inflight -= count
                 if batch is not None:
                     channel.records += len(batch)
-                    merger.push(key, rids.tolist(), batch.iter_records())
+                    merger.push(key, rids, batch)
             elif kind == "done":
                 _, worker_id, shards, busy = message
                 done_workers.add(worker_id)
@@ -1269,6 +1420,7 @@ class CdnSimulator:
                 generate_seconds=source.seconds,
                 overlap_fraction=source.overlap_fraction,
                 peak_resident_requests=peak_resident,
+                spill=None if merger._handle is None else merger._handle.stats,
             )
         finally:
             for in_queue in in_queues:
@@ -1293,6 +1445,7 @@ class CdnSimulator:
         generate_seconds: float = 0.0,
         overlap_fraction: float = 0.0,
         peak_resident_requests: int = 0,
+        spill=None,
     ) -> SimStats:
         shards = tuple(
             ShardStats(
@@ -1313,6 +1466,10 @@ class CdnSimulator:
             generate_seconds=generate_seconds,
             overlap_fraction=overlap_fraction,
             peak_resident_requests=peak_resident_requests,
+            spill_files=0 if spill is None else spill.spill_files,
+            bytes_spilled=0 if spill is None else spill.bytes_spilled,
+            bytes_restored=0 if spill is None else spill.bytes_restored,
+            spill_seconds=0.0 if spill is None else spill.spill_seconds,
         )
 
 
@@ -1337,6 +1494,11 @@ class SimulateStage:
         self.sim_config = sim_config
         self._workload_source = workload_source
         self.simulator: CdnSimulator | None = None
+        self._spill_pool = None
+
+    def use_spill(self, pool) -> None:
+        """Adopt the plan's shared spill pool (called before connect)."""
+        self._spill_pool = pool
 
     def connect(self, upstream, config):
         if upstream is None:
@@ -1363,6 +1525,7 @@ class SimulateStage:
             batch_size=config.batch_size,
             workers=config.sim_workers,
             queue_depth=config.sim_queue_depth,
+            spill_pool=self._spill_pool,
         )
 
     def finish(self, stats, result) -> None:
@@ -1373,6 +1536,11 @@ class SimulateStage:
             # The dispatcher's in-flight high-water mark is the honest
             # resident figure for this stage, not the emitted batch size.
             stats.peak_resident_rows = sim_stats.peak_resident_requests
+        if sim_stats is not None:
+            stats.spill_files = sim_stats.spill_files
+            stats.bytes_spilled = sim_stats.bytes_spilled
+            stats.bytes_restored = sim_stats.bytes_restored
+            stats.spill_seconds = sim_stats.spill_seconds
 
 
 @dataclass

@@ -46,6 +46,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "(default: REPRO_SCALE, else small)"
         ),
     )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        help=(
+            "global resident-byte budget; past it spillable stage state is "
+            "evicted to disk segments and streamed back, output bit-identical "
+            "(default: REPRO_MEMORY_BUDGET, else unlimited)"
+        ),
+    )
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        help=(
+            "directory for spill segments (default: REPRO_SPILL_DIR, else a "
+            "per-run tempdir removed at plan close)"
+        ),
+    )
 
 
 def _add_sim_workers(parser: argparse.ArgumentParser) -> None:
@@ -84,6 +102,8 @@ def _config_from_args(args: argparse.Namespace) -> RunConfig:
         "sim_queue_depth": getattr(args, "sim_queue_depth", None),
         "projection": getattr(args, "projection", None),
         "run_clustering": False if no_clustering else None,
+        "memory_budget": getattr(args, "memory_budget", None),
+        "spill_dir": getattr(args, "spill_dir", None),
     }
     return RunConfig.resolve(cli=cli)
 
@@ -400,6 +420,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             scale=config.scale,
             sim_workers=config.sim_workers,
             sim_queue_depth=config.sim_queue_depth,
+            memory_budget=config.memory_budget,
+            spill_dir=config.spill_dir,
         )
         print(f"wrote {result.rows_written} records to {args.out}")
         print(result.render_stats())

@@ -351,6 +351,100 @@ class ObjectAccumulator:
         )
 
 
+#: Rows per block inside a spilled timeline run (int64 user + float64 ts
+#: per row, so ~1 MB of payload per block at the default).
+_RUN_BLOCK_ROWS = 65_536
+
+
+class _RunState:
+    """One run's cursor inside :func:`_merge_sorted_runs`.
+
+    A run is an iterator of ``(users, ts)`` chunk pairs, globally sorted
+    by (user, ts) across the whole run.  The state keeps the loaded
+    not-yet-emitted chunks and knows how to slice off the prefix at or
+    below a merge bound.
+    """
+
+    __slots__ = ("_source", "_loaded", "_exhausted")
+
+    def __init__(self, source):
+        self._source = iter(source)
+        self._loaded: list[tuple[np.ndarray, np.ndarray]] = []
+        self._exhausted = False
+
+    def _load_next(self) -> bool:
+        if self._exhausted:
+            return False
+        for users, ts in self._source:
+            if users.size:
+                self._loaded.append((users, ts))
+                return True
+        self._exhausted = True
+        return False
+
+    def ensure_loaded(self) -> bool:
+        return bool(self._loaded) or self._load_next()
+
+    def first_chunk_last_key(self) -> tuple[int, float]:
+        users, ts = self._loaded[0]
+        return int(users[-1]), float(ts[-1])
+
+    def load_past(self, bound: tuple[int, float]) -> None:
+        # Load until the tail key exceeds the bound: everything <= bound
+        # must be resident before take_through slices it off.
+        while not self._exhausted:
+            users, ts = self._loaded[-1]
+            if (int(users[-1]), float(ts[-1])) > bound:
+                return
+            self._load_next()
+
+    def take_through(self, bound: tuple[int, float]) -> tuple[np.ndarray, np.ndarray]:
+        users = np.concatenate([chunk[0] for chunk in self._loaded])
+        ts = np.concatenate([chunk[1] for chunk in self._loaded])
+        bound_user, bound_ts = bound
+        right = int(np.searchsorted(users, bound_user, side="right"))
+        left = int(np.searchsorted(users, bound_user, side="left"))
+        cutoff = left + int(np.searchsorted(ts[left:right], bound_ts, side="right"))
+        if cutoff < users.size:
+            self._loaded = [(users[cutoff:], ts[cutoff:])]
+        else:
+            self._loaded = []
+        return users[:cutoff], ts[:cutoff]
+
+
+def _merge_sorted_runs(runs) -> "Iterator[tuple[np.ndarray, np.ndarray]]":
+    """Chunked k-way merge of (user, ts)-sorted runs.
+
+    Yields ``(users, ts)`` chunks of the merged order without holding
+    more than O(runs × block) rows resident beyond what one merge round
+    emits.  Each round's bound is the smallest first-loaded-chunk tail
+    key across runs, so at least one whole chunk is consumed per round
+    (progress), and every element ≤ the bound is loaded before slicing
+    (correctness).  Equal (user, ts) keys carry identical values, so any
+    stable tie order is value-identical to the one-shot global lexsort.
+    """
+    states = [state for state in map(_RunState, runs) if state.ensure_loaded()]
+    while states:
+        bound = min(state.first_chunk_last_key() for state in states)
+        for state in states:
+            state.load_past(bound)
+        users_parts: list[np.ndarray] = []
+        ts_parts: list[np.ndarray] = []
+        survivors: list[_RunState] = []
+        for state in states:
+            users, ts = state.take_through(bound)
+            if users.size:
+                users_parts.append(users)
+                ts_parts.append(ts)
+            if state.ensure_loaded():
+                survivors.append(state)
+        users_cat = np.concatenate(users_parts)
+        ts_cat = np.concatenate(ts_parts)
+        order = np.lexsort((ts_cat, users_cat))
+        yield users_cat[order], ts_cat[order]
+        states = survivors
+
+
 class UserTimelineAccumulator:
     """Per-user timestamp packs, merged into timelines at finalize.
 
@@ -359,6 +453,13 @@ class UserTimelineAccumulator:
     ``np.lexsort`` by (user, timestamp).  Equal timestamps are
     indistinguishable, so the result is value-identical to the scalar
     engine's per-user stable sort of the append-order sequence.
+
+    With a spill handle attached (:meth:`attach_spill`), the pool may
+    evict the resident packs at any point: :meth:`spill_packs` lexsorts
+    them into one on-disk run, and finalize becomes an external k-way
+    merge over the spilled runs plus whatever packs are still resident —
+    value-identical to the in-memory path because every run is sorted by
+    the same (user, ts) key and equal keys are indistinguishable.
     """
 
     def __init__(self) -> None:
@@ -368,6 +469,22 @@ class UserTimelineAccumulator:
         # (user_codes, timestamps) per batch.
         self._packs: list[tuple[np.ndarray, np.ndarray]] = []
         self._pack_bytes = 0
+        self._spill_handle = None
+        self._runs: list = []  # SpillSegment per spilled sorted run
+
+    def attach_spill(self, pool) -> None:
+        """Register with a spill pool as an evictable participant.
+
+        The handle is eviction-only: pack bytes are charged under the
+        dataset builder's resident estimate (which already includes
+        ``nbytes_estimate``), so charging a level here would double-count
+        them.
+        """
+        self._spill_handle = pool.register(
+            "user-timelines",
+            evictable_bytes=lambda: self._pack_bytes,
+            spill=self.spill_packs,
+        )
 
     def update(self, batch: RecordBatch, user_rows: np.ndarray, fresh_rows: np.ndarray) -> None:
         if fresh_rows.size:
@@ -385,10 +502,45 @@ class UserTimelineAccumulator:
         self._packs.append(pack)
         self._pack_bytes += pack[0].nbytes + pack[1].nbytes
 
+    def spill_packs(self) -> int:
+        """Evict the resident packs to one (user, ts)-sorted disk run."""
+        if not self._packs or self._spill_handle is None:
+            return 0
+        users = np.concatenate([pack[0] for pack in self._packs])
+        ts = np.concatenate([pack[1] for pack in self._packs])
+        order = np.lexsort((ts, users))
+        users = users[order]
+        ts = ts[order]
+        segment = self._spill_handle.write_run(
+            {"user": users[start : start + _RUN_BLOCK_ROWS], "ts": ts[start : start + _RUN_BLOCK_ROWS]}
+            for start in range(0, int(users.size), _RUN_BLOCK_ROWS)
+        )
+        self._runs.append(segment)
+        freed = self._pack_bytes
+        self._packs = []
+        self._pack_bytes = 0
+        return freed
+
+    def _iter_run(self, segment) -> "Iterator[tuple[np.ndarray, np.ndarray]]":
+        for block in self._spill_handle.iter_run(segment):
+            yield block["user"], block["ts"]
+
     def finalize(self, n_users: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(sorted_ts, starts, stops)`` in global-user-code order."""
         counts = np.zeros(n_users, dtype=np.int64)
-        if self._packs:
+        if self._runs:
+            runs = [self._iter_run(segment) for segment in self._runs]
+            if self._packs:
+                users = np.concatenate([pack[0] for pack in self._packs])
+                ts = np.concatenate([pack[1] for pack in self._packs])
+                order = np.lexsort((ts, users))
+                runs.append(iter([(users[order], ts[order])]))
+            ts_chunks: list[np.ndarray] = []
+            for users_chunk, ts_chunk in _merge_sorted_runs(runs):
+                counts[:n_users] += np.bincount(users_chunk, minlength=n_users)[:n_users]
+                ts_chunks.append(ts_chunk)
+            sorted_ts = np.concatenate(ts_chunks) if ts_chunks else np.empty(0, dtype=np.float64)
+        elif self._packs:
             users = np.concatenate([pack[0] for pack in self._packs])
             ts = np.concatenate([pack[1] for pack in self._packs])
             sorted_ts = ts[np.lexsort((ts, users))]
@@ -399,6 +551,7 @@ class UserTimelineAccumulator:
         starts = stops - counts
         self._packs = []
         self._pack_bytes = 0
+        self._runs = []
         return sorted_ts, starts, stops
 
     def nbytes_estimate(self) -> int:
@@ -557,6 +710,12 @@ class IngestStats:
     aggregate_bytes: int = 0
     keep_store: bool = True
     resident_series: list[int] = field(default_factory=list)
+    #: Spill activity under a memory budget (all zero when nothing spilt):
+    #: segments written, payload bytes out/in, and time spent on spill I/O.
+    spill_files: int = 0
+    bytes_spilled: int = 0
+    bytes_restored: int = 0
+    spill_seconds: float = 0.0
 
 
 class StreamingAggregates:
@@ -567,11 +726,13 @@ class StreamingAggregates:
     will exist for the fig. 3 / fig. 16 passes to sweep.
     """
 
-    def __init__(self, scan_aggregates: bool = False, n_categories: int = 0):
+    def __init__(self, scan_aggregates: bool = False, n_categories: int = 0, spill_pool=None):
         self.sites = InternTable()
         self.objects = ObjectAccumulator()
         self.users = InternTable()
         self.timelines = UserTimelineAccumulator()
+        if spill_pool is not None:
+            self.timelines.attach_spill(spill_pool)
         self.extents = SiteExtentAccumulator()
         self.hourly = HourlyAccumulator() if scan_aggregates else None
         self.response = ResponseCodeAccumulator(n_categories) if scan_aggregates else None

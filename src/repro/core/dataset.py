@@ -28,6 +28,7 @@ Two engines build the same indices:
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 from itertools import islice
@@ -52,6 +53,7 @@ from repro.errors import (
     ProjectionError,
     StorelessDatasetError,
 )
+from repro.spill import MemoryBudget, SpillPool
 from repro.stats.timeseries import HourlyTimeSeries
 from repro.trace.batch import (
     CATEGORIES,
@@ -72,6 +74,34 @@ CONTENT_STATUS_CODES = frozenset({200, 206, 304})
 #: :class:`IngestStage` declares to projection pushdown when
 #: ``keep_store=False``; with a store the full schema is pinned.
 INGEST_COLUMNS: frozenset[str] = AGGREGATE_COLUMNS | SCAN_TABLE_COLUMNS
+
+#: Env fallbacks for the legacy (non-plan) ingest entry points; the plan
+#: path resolves the same knobs through :class:`repro.dataflow.RunConfig`.
+MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET"
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
+
+
+def _spill_pool_from_env(
+    memory_budget: int | None, spill_dir: str | None
+) -> SpillPool | None:
+    """Build a caller-owned spill pool from kwargs with env fallbacks.
+
+    Returns ``None`` when no budget applies — the unlimited case never
+    evicts, so skipping the pool keeps the legacy path literally
+    unchanged rather than merely equivalent.
+    """
+    if memory_budget is None:
+        raw = os.environ.get(MEMORY_BUDGET_ENV, "").strip()
+        if raw:
+            try:
+                memory_budget = int(raw)
+            except ValueError as exc:
+                raise ConfigError(f"{MEMORY_BUDGET_ENV}={raw!r} is not an integer") from exc
+    if memory_budget is None:
+        return None
+    if spill_dir is None:
+        spill_dir = os.environ.get(SPILL_DIR_ENV, "").strip() or None
+    return SpillPool(MemoryBudget(memory_budget), spill_dir=spill_dir)
 
 
 @dataclass
@@ -252,6 +282,8 @@ class TraceDataset:
         batches: Iterable[RecordBatch],
         keep_store: bool = True,
         columns: Iterable[str] | None = None,
+        memory_budget: int | None = None,
+        spill_dir: str | None = None,
     ) -> "TraceDataset":
         """Build from a stream of columnar batches (the production path).
 
@@ -266,11 +298,24 @@ class TraceDataset:
         ingest-boundary flavour of projection pushdown.  Must cover every
         column the accumulators read, or :class:`~repro.errors.ProjectionError`
         names the missing one up front.
+
+        ``memory_budget`` (fallback: ``REPRO_MEMORY_BUDGET``) caps the
+        resident-byte estimate: past it, the timeline timestamp packs
+        spill to disk segments under ``spill_dir`` (fallback:
+        ``REPRO_SPILL_DIR``, else a tempdir) and finalize merges them
+        back — the resulting dataset is bit-identical at any budget.
         """
-        builder = DatasetBuilder(keep_store=keep_store, dataset_cls=cls, columns=columns)
-        for batch in batches:
-            builder.add(batch)
-        return builder.finish()
+        pool = _spill_pool_from_env(memory_budget, spill_dir)
+        try:
+            builder = DatasetBuilder(
+                keep_store=keep_store, dataset_cls=cls, columns=columns, spill_pool=pool
+            )
+            for batch in batches:
+                builder.add(batch)
+            return builder.finish()
+        finally:
+            if pool is not None:
+                pool.close()
 
     @classmethod
     def from_file(
@@ -279,6 +324,8 @@ class TraceDataset:
         batch_size: int = DEFAULT_BATCH_SIZE,
         keep_store: bool = True,
         columns: Iterable[str] | None = None,
+        memory_budget: int | None = None,
+        spill_dir: str | None = None,
         **reader_kwargs: object,
     ) -> "TraceDataset":
         """Stream a trace file into a dataset.
@@ -287,7 +334,8 @@ class TraceDataset:
         (columns only), so with ``keep_store=False`` the file never
         occupies more than one batch of row memory; :attr:`ingest_stats`
         reports the fold (batches, rows, peak resident estimate).
-        ``columns`` prunes every batch at the reader boundary (see
+        ``columns`` prunes every batch at the reader boundary and
+        ``memory_budget``/``spill_dir`` enable disk spilling (see
         :meth:`from_batches`).
         """
         reader = TraceReader(path, **reader_kwargs)  # type: ignore[arg-type]
@@ -295,6 +343,8 @@ class TraceDataset:
             reader.iter_batches(batch_size=batch_size, keep_records=False),
             keep_store=keep_store,
             columns=columns,
+            memory_budget=memory_budget,
+            spill_dir=spill_dir,
         )
 
     # -- scalar reference engine ----------------------------------------------
@@ -649,6 +699,7 @@ class DatasetBuilder:
         keep_store: bool = True,
         dataset_cls: type | None = None,
         columns: Iterable[str] | None = None,
+        spill_pool: SpillPool | None = None,
     ):
         self.keep_store = keep_store
         self._dataset_cls = dataset_cls or TraceDataset
@@ -666,17 +717,32 @@ class DatasetBuilder:
                     f"projection {sorted(self._columns)} does not include it"
                 )
         self._aggregates = StreamingAggregates(
-            scan_aggregates=not keep_store, n_categories=len(CATEGORIES)
+            scan_aggregates=not keep_store, n_categories=len(CATEGORIES), spill_pool=spill_pool
         )
         self._stats = IngestStats(keep_store=keep_store)
         self._kept: list[RecordBatch] = []
         self._store_bytes = 0
         self._last_batch_rows = 0
+        # Accounting-only handle: the ingest's whole resident estimate is
+        # charged here (which includes the timeline packs, so the
+        # timelines' eviction-only handle carries no level of its own —
+        # every byte is charged exactly once).
+        self._spill_handle = None
+        if spill_pool is not None:
+            self._spill_handle = spill_pool.register("ingest")
 
     @property
     def kept_batches(self) -> list[RecordBatch]:
         """The retained batches (empty in ``keep_store=False`` mode)."""
         return self._kept
+
+    def _resident_estimate(self, batch: RecordBatch) -> int:
+        """Resident bytes right now: aggregates plus the store or the
+        in-flight batch, *including* the string intern tables — budget
+        decisions and peak-resident telemetry use this one number."""
+        if self.keep_store:
+            return self._aggregates.nbytes_estimate() + self._store_bytes
+        return self._aggregates.nbytes_estimate() + batch.resident_nbytes
 
     def add(self, batch: RecordBatch) -> None:
         """Fold one batch into the accumulators (kept when configured)."""
@@ -689,10 +755,14 @@ class DatasetBuilder:
         aggregates.update(batch)
         if self.keep_store:
             self._kept.append(batch)
-            self._store_bytes += batch.nbytes
-            resident = aggregates.nbytes_estimate() + self._store_bytes
-        else:
-            resident = aggregates.nbytes_estimate() + batch.nbytes
+            self._store_bytes += batch.resident_nbytes
+        resident = self._resident_estimate(batch)
+        if self._spill_handle is not None:
+            # Charging may evict the timeline packs; re-measure so the
+            # recorded series reflects what actually stayed resident.
+            self._spill_handle.set_level(resident)
+            resident = self._resident_estimate(batch)
+            self._spill_handle.set_level(resident)
         self._last_batch_rows = len(batch)
         stats.resident_series.append(resident)
         if resident > stats.peak_resident_bytes:
@@ -733,6 +803,17 @@ class DatasetBuilder:
             dataset._user_times_map = None
             dataset._user_site_map = None
             dataset._user_agent_map = None
+        # After finalize: the timeline merge has restored any spilled
+        # runs, so the handle's counters are complete.
+        timeline_handle = aggregates.timelines._spill_handle
+        if timeline_handle is not None:
+            spill = timeline_handle.stats
+            stats.spill_files = spill.spill_files
+            stats.bytes_spilled = spill.bytes_spilled
+            stats.bytes_restored = spill.bytes_restored
+            stats.spill_seconds = spill.spill_seconds
+        if self._spill_handle is not None:
+            self._spill_handle.release()
         return dataset
 
 
@@ -751,6 +832,7 @@ class IngestStage:
     def __init__(self) -> None:
         self.dataset: TraceDataset | None = None
         self._builder: DatasetBuilder | None = None
+        self._spill_pool = None
 
     def required_columns(self, config) -> frozenset[str] | None:
         """Columns the ingest reads: the accumulator set when streaming,
@@ -760,10 +842,14 @@ class IngestStage:
             return None
         return INGEST_COLUMNS
 
+    def use_spill(self, pool) -> None:
+        """Adopt the plan's shared spill pool (called before connect)."""
+        self._spill_pool = pool
+
     def connect(self, upstream, config):
         if upstream is None:
             raise PlanError("ingest needs an upstream batch stream")
-        self._builder = DatasetBuilder(keep_store=config.keep_store)
+        self._builder = DatasetBuilder(keep_store=config.keep_store, spill_pool=self._spill_pool)
         return self._fold(upstream)
 
     def _fold(self, upstream):
@@ -786,3 +872,9 @@ class IngestStage:
         result.dataset = self.dataset
         if self._builder is not None and self._builder.keep_store:
             result.batches = self._builder.kept_batches
+        if self.dataset is not None and self.dataset.ingest_stats is not None:
+            ingest = self.dataset.ingest_stats
+            stats.spill_files = ingest.spill_files
+            stats.bytes_spilled = ingest.bytes_spilled
+            stats.bytes_restored = ingest.bytes_restored
+            stats.spill_seconds = ingest.spill_seconds

@@ -74,6 +74,11 @@ def _str_parse(raw: str, env: str) -> str:
     return raw.strip().lower()
 
 
+def _path_parse(raw: str, env: str) -> str:
+    # Paths keep their case; only surrounding whitespace is stripped.
+    return raw.strip()
+
+
 #: Every RunConfig knob with its environment variable, default and doc
 #: line.  ``RunConfig.resolve`` consumes this table; so do the precedence
 #: tests (one case per row) and the README configuration table.
@@ -143,6 +148,20 @@ KNOBS: tuple[Knob, ...] = (
         _parse_bool,
         "run the O(n^2) DTW trend clustering in the figure battery",
     ),
+    Knob(
+        "memory_budget",
+        "REPRO_MEMORY_BUDGET",
+        None,
+        _parse_int,
+        "global resident-byte budget; past it spillable state evicts to disk (default unlimited)",
+    ),
+    Knob(
+        "spill_dir",
+        "REPRO_SPILL_DIR",
+        None,
+        _path_parse,
+        "directory for spill segments (default: a per-run tempdir, removed at close)",
+    ),
 )
 
 _KNOBS_BY_NAME: dict[str, Knob] = {knob.name: knob for knob in KNOBS}
@@ -170,6 +189,8 @@ class RunConfig:
     dtw_kernel: str = "auto"
     dtw_workers: int = 1
     run_clustering: bool = True
+    memory_budget: int | None = None
+    spill_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
@@ -190,6 +211,20 @@ class RunConfig:
         for name in ("keep_store", "projection", "run_clustering"):
             if not isinstance(getattr(self, name), bool):
                 raise ConfigError(f"{name} must be a boolean, got {getattr(self, name)!r}")
+        if self.memory_budget is not None:
+            if (
+                not isinstance(self.memory_budget, int)
+                or isinstance(self.memory_budget, bool)
+                or self.memory_budget < 1
+            ):
+                raise ConfigError(
+                    f"memory_budget must be an integer >= 1 or None, got {self.memory_budget!r}"
+                )
+        if self.spill_dir is not None:
+            if not isinstance(self.spill_dir, str) or not self.spill_dir:
+                raise ConfigError(
+                    f"spill_dir must be a non-empty string or None, got {self.spill_dir!r}"
+                )
 
     @classmethod
     def resolve(

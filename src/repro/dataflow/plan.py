@@ -365,49 +365,64 @@ class Plan:
         config = self.config
         projection = self._resolve_projection(config)
         result = PlanResult(config=config)
-        stream: Iterator[Any] | None = None
-        connected: list[tuple[Stage, StageStats, _Instrumented, float]] = []
-        for index, stage in enumerate(self._stages):
-            stats = StageStats(name=stage.name)
-            if projection is not None and index >= projection.source_index:
-                emitted = len(projection.columns)
-                stats.columns_in = (
-                    len(projection.provided) if index == projection.source_index else emitted
-                )
-                stats.columns_out = emitted
-            start = perf_counter()
-            stream = stage.connect(stream, config)
-            setup = perf_counter() - start
-            wrapper = _Instrumented(stream, stage, stats)
-            connected.append((stage, stats, wrapper, setup))
-            stream = wrapper
-            if projection is not None and index == projection.source_index and projection.prune:
-                stream = _Projector(wrapper, projection.columns, stats)
+        pool = None
+        if config.memory_budget is not None:
+            from repro.spill import MemoryBudget, SpillPool
 
-        assert stream is not None
-        for _ in stream:
-            pass
+            pool = SpillPool(MemoryBudget(config.memory_budget), spill_dir=config.spill_dir)
+        try:
+            stream: Iterator[Any] | None = None
+            connected: list[tuple[Stage, StageStats, _Instrumented, float]] = []
+            for index, stage in enumerate(self._stages):
+                stats = StageStats(name=stage.name)
+                if projection is not None and index >= projection.source_index:
+                    emitted = len(projection.columns)
+                    stats.columns_in = (
+                        len(projection.provided) if index == projection.source_index else emitted
+                    )
+                    stats.columns_out = emitted
+                if pool is not None:
+                    use_spill = getattr(stage, "use_spill", None)
+                    if use_spill is not None:
+                        use_spill(pool)
+                start = perf_counter()
+                stream = stage.connect(stream, config)
+                setup = perf_counter() - start
+                wrapper = _Instrumented(stream, stage, stats)
+                connected.append((stage, stats, wrapper, setup))
+                stream = wrapper
+                if projection is not None and index == projection.source_index and projection.prune:
+                    stream = _Projector(wrapper, projection.columns, stats)
 
-        all_stats: list[StageStats] = []
-        upstream_inclusive = 0.0
-        for stage, stats, wrapper, setup in connected:
-            stats.wall_seconds = max(0.0, wrapper.inclusive - upstream_inclusive) + setup
-            upstream_inclusive = wrapper.inclusive
-            all_stats.append(stats)
-        for stage, stats, _, _ in connected:
-            finish = getattr(stage, "finish", None)
-            if finish is not None:
-                finish(stats, result)
+            assert stream is not None
+            for _ in stream:
+                pass
 
-        for derive_stage in self._derives:
-            stats = StageStats(name=derive_stage.name)
-            start = perf_counter()
-            derive_stage.derive(result, config)
-            stats.wall_seconds = perf_counter() - start
-            finish = getattr(derive_stage, "finish", None)
-            if finish is not None:
-                finish(stats, result)
-            all_stats.append(stats)
+            all_stats: list[StageStats] = []
+            upstream_inclusive = 0.0
+            for stage, stats, wrapper, setup in connected:
+                stats.wall_seconds = max(0.0, wrapper.inclusive - upstream_inclusive) + setup
+                upstream_inclusive = wrapper.inclusive
+                all_stats.append(stats)
+            for stage, stats, _, _ in connected:
+                finish = getattr(stage, "finish", None)
+                if finish is not None:
+                    finish(stats, result)
+
+            for derive_stage in self._derives:
+                stats = StageStats(name=derive_stage.name)
+                start = perf_counter()
+                derive_stage.derive(result, config)
+                stats.wall_seconds = perf_counter() - start
+                finish = getattr(derive_stage, "finish", None)
+                if finish is not None:
+                    finish(stats, result)
+                all_stats.append(stats)
+        finally:
+            # The pool owns every live segment (and its tempdir when it
+            # created one): close them even when a stage raised mid-drain.
+            if pool is not None:
+                pool.close()
 
         result.stage_stats = tuple(all_stats)
         return result

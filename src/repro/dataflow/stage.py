@@ -28,6 +28,12 @@ Optional hooks a stage may provide:
   :class:`~repro.dataflow.plan.PlanResult` and to adjust the stage's own
   :class:`StageStats` (e.g. adopt the simulator's dispatcher high-water
   mark).
+* ``use_spill(pool)`` — called before ``connect`` when the run has a
+  memory budget (:attr:`~repro.dataflow.config.RunConfig.memory_budget`),
+  handing the stage the run-wide :class:`~repro.spill.SpillPool`.  The
+  stage registers its spillable state with the pool; the executor owns
+  the pool's lifecycle and closes it (removing every live segment) after
+  the drain, even on error.
 * ``required_columns(config)`` — the batch columns this stage (or derive
   stage) reads, as a frozenset of names from
   :data:`repro.trace.batch.ALL_COLUMNS`; return ``None`` to pin the full
@@ -82,6 +88,14 @@ class StageStats:
     columns_out: int = 0
     #: Bytes projection pushdown stripped at this stage (sources only).
     bytes_pruned: int = 0
+    #: Spill segments this stage wrote under a memory budget.
+    spill_files: int = 0
+    #: Bytes this stage evicted to disk under a memory budget.
+    bytes_spilled: int = 0
+    #: Bytes this stage read back from its spill segments.
+    bytes_restored: int = 0
+    #: Wall time spent writing and reading spill segments.
+    spill_seconds: float = 0.0
 
     @property
     def rows_per_sec(self) -> float:
@@ -107,6 +121,11 @@ class StageStats:
             line += (
                 f" cols {self.columns_in}->{self.columns_out}"
                 f" bytes_pruned {self.bytes_pruned:,}"
+            )
+        if self.spill_files or self.bytes_spilled or self.bytes_restored:
+            line += (
+                f" spill_files {self.spill_files} bytes_spilled {self.bytes_spilled:,}"
+                f" bytes_restored {self.bytes_restored:,} spill {self.spill_seconds:.3f}s"
             )
         return line
 

@@ -61,6 +61,20 @@ class TraceSchemaError(TraceError):
     """A record is missing fields or holds values outside the schema."""
 
 
+class SpillError(ReproError):
+    """A spill segment could not be read back intact.
+
+    Raised by :func:`repro.spill.segment.iter_blocks` when a segment is
+    truncated (the file ends inside a header or block payload) or corrupt
+    (bad magic/version, an implausible block length, a CRC mismatch, or a
+    payload whose column encoding is inconsistent).  The message always
+    names the segment path and the byte offset of the damage, so a failed
+    restore is diagnosable without re-running the spill.  Spill segments
+    are run-scoped scratch — there is no "need more bytes" retry case, so
+    truncation and corruption are both terminal here.
+    """
+
+
 class WorkloadError(ReproError):
     """Workload generation failed or was configured inconsistently."""
 

@@ -96,6 +96,8 @@ def _resolve_config(
     sim_queue_depth: int | None = None,
     batch_size: int | None = None,
     projection: bool | None = None,
+    memory_budget: int | None = None,
+    spill_dir: str | None = None,
 ) -> RunConfig:
     """One RunConfig from wrapper kwargs: env < explicitly-passed values."""
     return RunConfig.resolve(
@@ -106,6 +108,8 @@ def _resolve_config(
         sim_queue_depth=sim_queue_depth,
         batch_size=batch_size,
         projection=projection,
+        memory_budget=memory_budget,
+        spill_dir=spill_dir,
     )
 
 
@@ -131,6 +135,8 @@ def run_pipeline(
     sim_workers: int | None = None,
     sim_queue_depth: int | None = None,
     projection: bool | None = None,
+    memory_budget: int | None = None,
+    spill_dir: str | None = None,
 ) -> PipelineResult:
     """Generate a synthetic week of adult-CDN traffic and index it.
 
@@ -153,7 +159,8 @@ def run_pipeline(
     queue depth.
     """
     config = _resolve_config(
-        seed, scale, keep_store, sim_workers, sim_queue_depth, projection=projection
+        seed, scale, keep_store, sim_workers, sim_queue_depth, projection=projection,
+        memory_budget=memory_budget, spill_dir=spill_dir,
     )
     plan = Plan(config).generate(profiles).simulate(sim_config).ingest()
     return _wrap(plan.run())
@@ -169,6 +176,8 @@ def run_study(
     sim_workers: int | None = None,
     sim_queue_depth: int | None = None,
     projection: bool | None = None,
+    memory_budget: int | None = None,
+    spill_dir: str | None = None,
 ) -> tuple[PipelineResult, StudyReport]:
     """Full pipeline plus the complete figure battery.
 
@@ -178,7 +187,8 @@ def run_study(
     to the eager one.
     """
     config = _resolve_config(
-        seed, scale, keep_store, sim_workers, sim_queue_depth, projection=projection
+        seed, scale, keep_store, sim_workers, sim_queue_depth, projection=projection,
+        memory_budget=memory_budget, spill_dir=spill_dir,
     )
     plan = Plan(config).generate(profiles).simulate(sim_config).ingest().analyze(study)
     result = plan.run()
@@ -194,6 +204,8 @@ def generate_trace_plan(
     sim_workers: int | None = None,
     sim_queue_depth: int | None = None,
     batch_size: int | None = None,
+    memory_budget: int | None = None,
+    spill_dir: str | None = None,
 ) -> PlanResult:
     """Generate a trace and stream it straight to ``path``.
 
@@ -206,6 +218,7 @@ def generate_trace_plan(
     config = _resolve_config(
         seed, scale, keep_store=False, sim_workers=sim_workers,
         sim_queue_depth=sim_queue_depth, batch_size=batch_size,
+        memory_budget=memory_budget, spill_dir=spill_dir,
     )
     return Plan(config).generate(profiles).simulate().write_trace(path).run()
 
@@ -217,6 +230,8 @@ def generate_trace_file(
     profiles: tuple[SiteProfile, ...] | None = None,
     sim_workers: int | None = None,
     sim_queue_depth: int | None = None,
+    memory_budget: int | None = None,
+    spill_dir: str | None = None,
 ) -> int:
     """Generate a trace and write it to ``path``; returns records written."""
     result = generate_trace_plan(
@@ -226,6 +241,8 @@ def generate_trace_file(
         profiles=profiles,
         sim_workers=sim_workers,
         sim_queue_depth=sim_queue_depth,
+        memory_budget=memory_budget,
+        spill_dir=spill_dir,
     )
     assert result.rows_written is not None
     return result.rows_written

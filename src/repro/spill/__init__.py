@@ -1,0 +1,32 @@
+"""Disk-backed spill subsystem: a global memory budget plus a spill pool.
+
+See :mod:`repro.spill.budget` for the accounting model,
+:mod:`repro.spill.pool` for registration/eviction, and
+:mod:`repro.spill.segment` for the on-disk columnar segment format.
+DESIGN.md §11 documents the invariants end to end.
+"""
+
+from repro.spill.budget import MemoryBudget
+from repro.spill.pool import SpillHandle, SpillPool, SpillSegment, SpillStats
+from repro.spill.segment import (
+    SPILL_MAGIC,
+    SPILL_VERSION,
+    SpillFileWriter,
+    iter_blocks,
+    read_blocks,
+    write_segment,
+)
+
+__all__ = [
+    "MemoryBudget",
+    "SpillHandle",
+    "SpillPool",
+    "SpillSegment",
+    "SpillStats",
+    "SPILL_MAGIC",
+    "SPILL_VERSION",
+    "SpillFileWriter",
+    "iter_blocks",
+    "read_blocks",
+    "write_segment",
+]

@@ -1,0 +1,67 @@
+"""Global memory budget accounting for spillable pipeline participants.
+
+A :class:`MemoryBudget` is a plain byte counter with a limit: participants
+charge and release resident bytes through their
+:class:`~repro.spill.pool.SpillHandle`, and the pool consults
+:meth:`MemoryBudget.over` to decide when eviction must run.  The budget
+itself never evicts anything — it only answers "how far over are we?" —
+so the accounting model stays testable in isolation from the spill
+machinery.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class MemoryBudget:
+    """Tracks charged resident bytes against an optional global limit.
+
+    ``limit_bytes=None`` means unlimited: charges are still accounted (so
+    peak-resident telemetry works) but :meth:`over` always reports 0 and
+    nothing ever spills.
+    """
+
+    __slots__ = ("limit_bytes", "_total", "_peak")
+
+    def __init__(self, limit_bytes: int | None = None):
+        if limit_bytes is not None:
+            limit_bytes = int(limit_bytes)
+            if limit_bytes < 1:
+                raise ConfigError(f"memory budget must be >= 1 byte, got {limit_bytes}")
+        self.limit_bytes = limit_bytes
+        self._total = 0
+        self._peak = 0
+
+    @property
+    def total(self) -> int:
+        """Currently charged resident bytes across all participants."""
+        return self._total
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of charged bytes over the budget's lifetime."""
+        return self._peak
+
+    @property
+    def unlimited(self) -> bool:
+        return self.limit_bytes is None
+
+    def charge(self, delta: int) -> int:
+        """Adjust the charged total by ``delta`` bytes (may be negative)."""
+        self._total += int(delta)
+        if self._total < 0:
+            self._total = 0
+        if self._total > self._peak:
+            self._peak = self._total
+        return self._total
+
+    def over(self) -> int:
+        """Bytes currently charged beyond the limit (0 when within budget)."""
+        if self.limit_bytes is None:
+            return 0
+        return max(0, self._total - self.limit_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        limit = "unlimited" if self.limit_bytes is None else f"{self.limit_bytes}B"
+        return f"MemoryBudget(total={self._total}, peak={self._peak}, limit={limit})"

@@ -1,0 +1,263 @@
+"""The spill pool: eviction policy, segment lifecycle, spill telemetry.
+
+Spillable participants call :meth:`SpillPool.register` and get back a
+:class:`SpillHandle`.  The handle carries two independent contracts:
+
+* **Accounting** — :meth:`SpillHandle.set_level` declares the
+  participant's current resident footprint; the pool charges the delta
+  to the shared :class:`~repro.spill.budget.MemoryBudget` and, if the
+  budget is exceeded, runs eviction.
+* **Evictability** — the optional ``evictable_bytes`` / ``spill``
+  callbacks say how many resident bytes the participant could shed right
+  now and shed them (returning the bytes actually freed).  A handle may
+  be accounting-only (it charges but never spills — e.g. irreducible
+  aggregate state) or eviction-only (its bytes are charged under another
+  handle's level — e.g. the timeline packs inside the ingest estimate),
+  which keeps every resident byte charged exactly once.
+
+Eviction policy: while the budget is over, spill the registrant with the
+*largest* currently evictable footprint; stop when no handle can free
+anything more.  Residual over-budget bytes are allowed — irreducible
+state (group-by tables, one in-flight batch) can exceed a pathological
+budget, which is why acceptance is framed as "within one batch of
+slack".
+
+Segments live under an explicit ``spill_dir`` or a lazily created
+tempdir.  The pool tracks every live segment and :meth:`SpillPool.close`
+removes them all (and the tempdir it created) even when the run died
+mid-exception; restoring a segment deletes its file as soon as the last
+block is consumed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import tempfile
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.spill.budget import MemoryBudget
+from repro.spill.segment import SpillFileWriter, iter_blocks
+from repro.trace.batch import StringColumn
+
+Block = dict[str, "np.ndarray | StringColumn"]
+
+
+@dataclass
+class SpillStats:
+    """Per-handle (and pool-aggregate) spill activity counters."""
+
+    spill_files: int = 0
+    bytes_spilled: int = 0
+    bytes_restored: int = 0
+    spill_seconds: float = 0.0
+
+    def merge(self, other: "SpillStats") -> None:
+        self.spill_files += other.spill_files
+        self.bytes_spilled += other.bytes_spilled
+        self.bytes_restored += other.bytes_restored
+        self.spill_seconds += other.spill_seconds
+
+
+@dataclass
+class SpillSegment:
+    """A live on-disk segment: its path plus payload accounting."""
+
+    path: str
+    blocks: int
+    payload_bytes: int
+
+
+class SpillHandle:
+    """One registrant's view of the pool (see module docstring)."""
+
+    def __init__(
+        self,
+        pool: "SpillPool",
+        label: str,
+        evictable_bytes: Callable[[], int] | None,
+        spill: Callable[[], int] | None,
+    ):
+        self.pool = pool
+        self.label = label
+        self.stats = SpillStats()
+        self.level = 0
+        self._evictable_bytes = evictable_bytes
+        self._spill = spill
+        self._spilling = False
+
+    # -- accounting -----------------------------------------------------------
+
+    def set_level(self, resident_bytes: int) -> None:
+        """Declare the current resident footprint; may trigger eviction."""
+        delta = int(resident_bytes) - self.level
+        if delta:
+            self.level += delta
+            self.pool.budget.charge(delta)
+        self.pool.enforce()
+
+    def release(self) -> None:
+        """Drop this handle's charge to zero (participant is done)."""
+        if self.level:
+            self.pool.budget.charge(-self.level)
+            self.level = 0
+
+    # -- evictability ---------------------------------------------------------
+
+    def evictable_now(self) -> int:
+        if self._spilling or self._evictable_bytes is None or self._spill is None:
+            return 0
+        return max(0, int(self._evictable_bytes()))
+
+    def evict(self) -> int:
+        """Run the registrant's spill callback; returns bytes freed."""
+        self._spilling = True
+        try:
+            return int(self._spill())
+        finally:
+            self._spilling = False
+
+    # -- segment I/O ----------------------------------------------------------
+
+    def write_run(self, blocks: Iterable[Block]) -> SpillSegment:
+        """Spill ``blocks`` to a fresh segment, timing and counting it."""
+        path = self.pool._new_segment_path(self.label)
+        start = time.perf_counter()
+        writer = SpillFileWriter(path)
+        try:
+            for block in blocks:
+                writer.write_block(block)
+        except BaseException:
+            writer.abort()
+            raise
+        writer.close()
+        self.stats.spill_seconds += time.perf_counter() - start
+        self.stats.spill_files += 1
+        self.stats.bytes_spilled += writer.payload_bytes
+        segment = SpillSegment(path, writer.blocks, writer.payload_bytes)
+        self.pool._segments[path] = segment
+        return segment
+
+    def iter_run(self, segment: SpillSegment) -> Iterator[Block]:
+        """Stream a segment's blocks back; the file is deleted at the end."""
+        start = time.perf_counter()
+        try:
+            for block in iter_blocks(segment.path):
+                self.stats.spill_seconds += time.perf_counter() - start
+                yield block
+                start = time.perf_counter()
+        finally:
+            self.stats.spill_seconds += time.perf_counter() - start
+            self.pool.discard(segment)
+        self.stats.bytes_restored += segment.payload_bytes
+
+    def read_run(self, segment: SpillSegment) -> list[Block]:
+        """Restore a whole segment at once (deletes the file)."""
+        return list(self.iter_run(segment))
+
+
+class SpillPool:
+    """Registry of spillable participants sharing one memory budget."""
+
+    def __init__(self, budget: MemoryBudget | None = None, spill_dir: str | None = None):
+        self.budget = budget if budget is not None else MemoryBudget()
+        self._spill_dir = spill_dir
+        self._own_dir: str | None = None
+        self._resolved_dir: str | None = None
+        self._handles: list[SpillHandle] = []
+        self._segments: dict[str, SpillSegment] = {}
+        self._sequence = 0
+        self._enforcing = False
+        self._closed = False
+
+    # -- registration & eviction ----------------------------------------------
+
+    def register(
+        self,
+        label: str,
+        evictable_bytes: Callable[[], int] | None = None,
+        spill: Callable[[], int] | None = None,
+    ) -> SpillHandle:
+        handle = SpillHandle(self, label, evictable_bytes, spill)
+        self._handles.append(handle)
+        return handle
+
+    def enforce(self) -> None:
+        """Evict largest-evictable registrants until within budget (or stuck)."""
+        if self._enforcing or self.budget.over() <= 0:
+            return
+        self._enforcing = True
+        try:
+            while self.budget.over() > 0:
+                handle = max(self._handles, key=SpillHandle.evictable_now, default=None)
+                if handle is None or handle.evictable_now() <= 0:
+                    return  # nothing left to evict; residual overage allowed
+                handle.evict()
+        finally:
+            self._enforcing = False
+
+    # -- segment & directory lifecycle ----------------------------------------
+
+    def _directory(self) -> str:
+        if self._resolved_dir is None:
+            if self._spill_dir is not None:
+                os.makedirs(self._spill_dir, exist_ok=True)
+                self._resolved_dir = self._spill_dir
+            else:
+                self._own_dir = tempfile.mkdtemp(prefix="repro-spill-")
+                self._resolved_dir = self._own_dir
+        return self._resolved_dir
+
+    def _new_segment_path(self, label: str) -> str:
+        self._sequence += 1
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "-", label) or "segment"
+        return os.path.join(self._directory(), f"{self._sequence:06d}-{safe}.spill")
+
+    def discard(self, segment: SpillSegment) -> None:
+        """Delete a segment's file (restore finished or data abandoned)."""
+        self._segments.pop(segment.path, None)
+        try:
+            os.remove(segment.path)
+        except FileNotFoundError:
+            pass
+
+    @property
+    def live_segments(self) -> tuple[SpillSegment, ...]:
+        return tuple(self._segments.values())
+
+    def close(self) -> None:
+        """Delete every leftover segment (and the pool-owned tempdir).
+
+        Safe to call more than once and after a mid-run exception: cleanup
+        is best-effort per segment, so one unremovable file cannot strand
+        the rest.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for segment in list(self._segments.values()):
+            self.discard(segment)
+        if self._own_dir is not None:
+            shutil.rmtree(self._own_dir, ignore_errors=True)
+            self._own_dir = None
+
+    # -- telemetry -------------------------------------------------------------
+
+    def stats(self) -> SpillStats:
+        """Aggregate spill counters over every registered handle."""
+        total = SpillStats()
+        for handle in self._handles:
+            total.merge(handle.stats)
+        return total
+
+    def __enter__(self) -> "SpillPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

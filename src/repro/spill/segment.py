@@ -1,0 +1,271 @@
+"""On-disk columnar spill segments: the byte format under the spill pool.
+
+A segment holds a sequence of *blocks*, each a dict of named columns in
+the :class:`~repro.trace.batch.RecordBatch` layout: numeric columns are
+raw little-endian numpy arrays, string columns are dictionary-encoded
+(int32 codes over a value list) exactly as they live in memory, so a
+restored block reconstructs the batch bit-identically — intern tables
+included.
+
+Framing is defensive because spill files outlive the process state that
+wrote them: every block is ``u64 payload_len | u32 crc32 | payload``, so
+truncation (the file ends mid-header or mid-payload) and corruption (any
+flipped byte fails the CRC, or the magic/version/length fields go
+inconsistent) are both detected at a specific byte offset and raised as
+:class:`~repro.errors.SpillError` naming the file and offset.  A file
+that ends cleanly on a block boundary parses as the complete prefix it
+is — mirroring the trace reader's truncation semantics.
+
+Writers create ``<path>.tmp`` and :func:`os.replace` it into place on
+close, so a segment either exists complete or not at all; a crash never
+leaves a half-written segment under the final name.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import SpillError
+from repro.trace.batch import StringColumn
+
+#: Magic bytes opening every spill segment.
+SPILL_MAGIC = b"RSPL"
+
+#: Format version; bumped on any incompatible layout change.
+SPILL_VERSION = 1
+
+#: Fixed file header: magic + u16 version.
+_HEADER = struct.Struct("<4sH")
+
+#: Per-block frame: u64 payload length + u32 crc32 of the payload.
+_BLOCK_FRAME = struct.Struct("<QI")
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+#: Column kind tags inside a block payload.
+_KIND_NUMERIC = 0
+_KIND_STRING = 1
+
+#: Refuse to allocate for absurd declared sizes: any genuine block is far
+#: below this, so a length field above it means corruption, not data.
+_MAX_PAYLOAD = 1 << 40
+
+
+def encode_block(columns: dict[str, np.ndarray | StringColumn]) -> bytes:
+    """Serialise one block (name -> column) to a payload byte string."""
+    parts: list[bytes] = [_U32.pack(len(columns))]
+    for name, column in columns.items():
+        raw_name = name.encode("utf-8")
+        parts.append(_U16.pack(len(raw_name)))
+        parts.append(raw_name)
+        if isinstance(column, StringColumn):
+            parts.append(_U8.pack(_KIND_STRING))
+            codes = np.ascontiguousarray(column.codes, dtype=np.int32)
+            parts.append(_U64.pack(codes.size))
+            parts.append(codes.tobytes())
+            parts.append(_U32.pack(len(column.values)))
+            for value in column.values:
+                raw = value.encode("utf-8")
+                parts.append(_U32.pack(len(raw)))
+                parts.append(raw)
+        else:
+            array = np.ascontiguousarray(column)
+            dtype = array.dtype.str.encode("ascii")
+            parts.append(_U8.pack(_KIND_NUMERIC))
+            parts.append(_U16.pack(len(dtype)))
+            parts.append(dtype)
+            parts.append(_U64.pack(array.size))
+            parts.append(array.tobytes())
+    return b"".join(parts)
+
+
+class _PayloadReader:
+    """Cursor over a block payload that turns short reads into SpillError."""
+
+    __slots__ = ("path", "base", "data", "pos")
+
+    def __init__(self, path: str, base: int, data: bytes):
+        self.path = path
+        self.base = base  # file offset where this payload starts
+        self.data = data
+        self.pos = 0
+
+    def _fail(self, what: str) -> SpillError:
+        return SpillError(
+            f"corrupt spill segment {self.path!r}: {what} at byte {self.base + self.pos}"
+        )
+
+    def take(self, count: int, what: str) -> bytes:
+        if count < 0 or self.pos + count > len(self.data):
+            raise self._fail(f"{what} extends past the block payload")
+        chunk = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def unpack(self, fmt: struct.Struct, what: str):
+        return fmt.unpack(self.take(fmt.size, what))
+
+
+def decode_block(path: str, base: int, payload: bytes) -> dict[str, np.ndarray | StringColumn]:
+    """Deserialise one payload back into its column dict."""
+    reader = _PayloadReader(path, base, payload)
+    (n_columns,) = reader.unpack(_U32, "column count")
+    columns: dict[str, np.ndarray | StringColumn] = {}
+    for _ in range(n_columns):
+        (name_len,) = reader.unpack(_U16, "column name length")
+        name = reader.take(name_len, "column name").decode("utf-8")
+        (kind,) = reader.unpack(_U8, "column kind")
+        if kind == _KIND_NUMERIC:
+            (dtype_len,) = reader.unpack(_U16, "dtype length")
+            dtype_str = reader.take(dtype_len, "dtype").decode("ascii")
+            try:
+                dtype = np.dtype(dtype_str)
+            except TypeError as exc:
+                raise reader._fail(f"unknown dtype {dtype_str!r}") from exc
+            (rows,) = reader.unpack(_U64, "row count")
+            raw = reader.take(rows * dtype.itemsize, "numeric column data")
+            columns[name] = np.frombuffer(raw, dtype=dtype).copy()
+        elif kind == _KIND_STRING:
+            (rows,) = reader.unpack(_U64, "row count")
+            raw = reader.take(rows * 4, "string codes")
+            codes = np.frombuffer(raw, dtype=np.int32).copy()
+            (n_values,) = reader.unpack(_U32, "value count")
+            values: list[str] = []
+            for _ in range(n_values):
+                (value_len,) = reader.unpack(_U32, "value length")
+                values.append(reader.take(value_len, "value bytes").decode("utf-8"))
+            columns[name] = StringColumn(codes, values)
+        else:
+            raise reader._fail(f"unknown column kind {kind}")
+    if reader.pos != len(payload):
+        raise reader._fail("trailing bytes after the last column")
+    return columns
+
+
+class SpillFileWriter:
+    """Writes a spill segment atomically: ``<path>.tmp`` then rename.
+
+    :meth:`write_block` appends one framed block; :meth:`close` fsync-free
+    flushes and renames the temp file into place.  :meth:`abort` discards
+    the temp file, leaving nothing behind — the pool calls it when a spill
+    fails partway.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._tmp = path + ".tmp"
+        self._file = open(self._tmp, "wb")
+        self._file.write(_HEADER.pack(SPILL_MAGIC, SPILL_VERSION))
+        self.payload_bytes = 0
+        self.blocks = 0
+
+    def write_block(self, columns: dict[str, np.ndarray | StringColumn]) -> int:
+        payload = encode_block(columns)
+        self._file.write(_BLOCK_FRAME.pack(len(payload), zlib.crc32(payload)))
+        self._file.write(payload)
+        self.payload_bytes += len(payload)
+        self.blocks += 1
+        return len(payload)
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self._file.close()
+        os.replace(self._tmp, self.path)
+
+    def abort(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+        try:
+            os.remove(self._tmp)
+        except FileNotFoundError:
+            pass
+
+
+def iter_blocks(path: str) -> Iterator[dict[str, np.ndarray | StringColumn]]:
+    """Yield each block of a segment, validating framing as it goes.
+
+    Raises :class:`~repro.errors.SpillError` naming ``path`` and the byte
+    offset on truncation (the file ends inside a header or payload) or
+    corruption (bad magic/version, an impossible length, a CRC mismatch).
+    A clean end-of-file on a block boundary simply stops iteration.
+    """
+    with open(path, "rb") as handle:
+        file_size = os.fstat(handle.fileno()).st_size
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise SpillError(
+                f"corrupt spill segment {path!r}: truncated header at byte {len(header)}"
+            )
+        magic, version = _HEADER.unpack(header)
+        if magic != SPILL_MAGIC:
+            raise SpillError(f"corrupt spill segment {path!r}: bad magic at byte 0")
+        if version != SPILL_VERSION:
+            raise SpillError(
+                f"corrupt spill segment {path!r}: unsupported version {version} at byte 4"
+            )
+        offset = _HEADER.size
+        while True:
+            frame = handle.read(_BLOCK_FRAME.size)
+            if not frame:
+                return  # clean EOF on a block boundary: complete prefix
+            if len(frame) < _BLOCK_FRAME.size:
+                raise SpillError(
+                    f"corrupt spill segment {path!r}: truncated block header "
+                    f"at byte {offset + len(frame)}"
+                )
+            payload_len, crc = _BLOCK_FRAME.unpack(frame)
+            if payload_len > _MAX_PAYLOAD:
+                raise SpillError(
+                    f"corrupt spill segment {path!r}: implausible block length "
+                    f"{payload_len} at byte {offset}"
+                )
+            payload_base = offset + _BLOCK_FRAME.size
+            if payload_base + payload_len > file_size:
+                # Checked against the real file size *before* read() so a
+                # corrupt length field can never drive a huge allocation.
+                raise SpillError(
+                    f"corrupt spill segment {path!r}: truncated block payload "
+                    f"at byte {file_size}"
+                )
+            payload = handle.read(payload_len)
+            if len(payload) < payload_len:
+                raise SpillError(
+                    f"corrupt spill segment {path!r}: truncated block payload "
+                    f"at byte {payload_base + len(payload)}"
+                )
+            if zlib.crc32(payload) != crc:
+                raise SpillError(
+                    f"corrupt spill segment {path!r}: CRC mismatch for the block "
+                    f"at byte {offset}"
+                )
+            yield decode_block(path, payload_base, payload)
+            offset = payload_base + payload_len
+
+
+def read_blocks(path: str) -> list[dict[str, np.ndarray | StringColumn]]:
+    """Read every block of a segment into memory (small segments / tests)."""
+    return list(iter_blocks(path))
+
+
+def write_segment(
+    path: str, blocks: Iterable[dict[str, np.ndarray | StringColumn]]
+) -> tuple[int, int]:
+    """Write ``blocks`` to ``path`` atomically; returns (blocks, payload bytes)."""
+    writer = SpillFileWriter(path)
+    try:
+        for block in blocks:
+            writer.write_block(block)
+    except BaseException:
+        writer.abort()
+        raise
+    writer.close()
+    return writer.blocks, writer.payload_bytes

@@ -500,6 +500,32 @@ class RecordBatch:
             total += column.codes.nbytes
         return total
 
+    @property
+    def intern_nbytes(self) -> int:
+        """Approximate footprint of the string intern tables (value lists).
+
+        ``nbytes`` deliberately counts only the column arrays (numeric
+        data + string codes), because row slices share their value lists
+        and would otherwise double-count them.  Resident-memory
+        accounting over *whole* batches needs the value lists too — each
+        interned string's UTF-8 payload is genuinely held in memory once
+        per batch — so budget decisions and peak-resident telemetry add
+        this on top of ``nbytes``.  Pruned string columns contribute 0:
+        projection dropped their intern table entirely.
+        """
+        total = 0
+        for name in STRING_FIELDS:
+            column = getattr(self, name)
+            if isinstance(column, PrunedColumn):
+                continue
+            total += sum(len(value) for value in column.values)
+        return total
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Full resident footprint: column arrays plus intern tables."""
+        return self.nbytes + self.intern_nbytes
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RecordBatch(rows={len(self)}, sites={len(self.site.values)}, objects={len(self.object_id.values)})"
 

@@ -1,0 +1,171 @@
+"""UserTimelineAccumulator spilling: sorted runs + external k-way merge.
+
+Direct unit tests of the ingest spill consumer: :meth:`spill_packs` must
+produce a (user, ts)-lexsorted on-disk run, and :meth:`finalize` over any
+mix of spilled runs and resident packs must return exactly the arrays the
+all-resident path computes — the ``_merge_sorted_runs`` helper is pinned
+on randomized inputs against the one-shot global lexsort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accumulate import UserTimelineAccumulator, _merge_sorted_runs
+from repro.spill import SpillPool
+from repro.spill.segment import read_blocks
+
+
+def _pack_accumulator(packs):
+    """An accumulator pre-loaded with the given (users, ts) packs."""
+    acc = UserTimelineAccumulator()
+    for users, ts in packs:
+        acc._packs.append((np.asarray(users, dtype=np.int64), np.asarray(ts, dtype=np.float64)))
+        acc._pack_bytes += acc._packs[-1][0].nbytes + acc._packs[-1][1].nbytes
+    return acc
+
+
+def _reference_finalize(packs, n_users):
+    return _pack_accumulator(packs).finalize(n_users)
+
+
+def _random_packs(rng, n_packs, n_users, max_rows=40):
+    packs = []
+    for _ in range(n_packs):
+        rows = int(rng.integers(0, max_rows)) + 1
+        users = rng.integers(0, n_users, size=rows)
+        ts = np.round(rng.uniform(0, 100, size=rows), 3)
+        packs.append((users, ts))
+    return packs
+
+
+class TestSpillPacks:
+    def test_run_is_lexsorted_on_disk(self, tmp_path):
+        with SpillPool(spill_dir=str(tmp_path)) as pool:
+            acc = _pack_accumulator([([3, 1, 2], [5.0, 9.0, 1.0]), ([1, 3], [2.0, 0.5])])
+            acc.attach_spill(pool)
+            freed = acc.spill_packs()
+            assert freed > 0
+            assert acc._pack_bytes == 0 and acc._packs == []
+            [segment] = acc._runs
+            blocks = read_blocks(segment.path)
+            users = np.concatenate([b["user"] for b in blocks])
+            ts = np.concatenate([b["ts"] for b in blocks])
+            assert users.tolist() == [1, 1, 2, 3, 3]
+            assert ts.tolist() == [2.0, 9.0, 1.0, 0.5, 5.0]
+
+    def test_spill_without_packs_is_a_noop(self, tmp_path):
+        with SpillPool(spill_dir=str(tmp_path)) as pool:
+            acc = UserTimelineAccumulator()
+            acc.attach_spill(pool)
+            assert acc.spill_packs() == 0
+            assert acc._runs == []
+
+    def test_finalize_merges_runs_and_resident_packs(self, tmp_path):
+        rng = np.random.default_rng(5)
+        packs = _random_packs(rng, 6, n_users=10)
+        expected = _reference_finalize(packs, 10)
+        with SpillPool(spill_dir=str(tmp_path)) as pool:
+            acc = _pack_accumulator(packs[:2])
+            acc.attach_spill(pool)
+            acc.spill_packs()
+            for users, ts in packs[2:4]:
+                acc._packs.append((np.asarray(users), np.asarray(ts, dtype=np.float64)))
+                acc._pack_bytes += acc._packs[-1][0].nbytes + acc._packs[-1][1].nbytes
+            acc.spill_packs()
+            for users, ts in packs[4:]:
+                acc._packs.append((np.asarray(users), np.asarray(ts, dtype=np.float64)))
+                acc._pack_bytes += acc._packs[-1][0].nbytes + acc._packs[-1][1].nbytes
+            sorted_ts, starts, stops = acc.finalize(10)
+            # Every consumed run's file is gone before the pool closes.
+            assert pool.live_segments == ()
+        assert sorted_ts.tolist() == expected[0].tolist()
+        assert starts.tolist() == expected[1].tolist()
+        assert stops.tolist() == expected[2].tolist()
+
+    def test_finalize_with_runs_only(self, tmp_path):
+        rng = np.random.default_rng(11)
+        packs = _random_packs(rng, 3, n_users=5)
+        expected = _reference_finalize(packs, 5)
+        with SpillPool(spill_dir=str(tmp_path)) as pool:
+            acc = _pack_accumulator([])
+            acc.attach_spill(pool)
+            for pack in packs:
+                acc._packs.append((np.asarray(pack[0]), np.asarray(pack[1], dtype=np.float64)))
+                acc._pack_bytes += acc._packs[-1][0].nbytes + acc._packs[-1][1].nbytes
+                acc.spill_packs()
+            assert len(acc._runs) == 3
+            result = acc.finalize(5)
+        for actual, reference in zip(result, expected):
+            assert actual.tolist() == reference.tolist()
+
+    def test_finalize_empty(self):
+        sorted_ts, starts, stops = UserTimelineAccumulator().finalize(4)
+        assert sorted_ts.size == 0
+        assert starts.tolist() == [0, 0, 0, 0]
+        assert stops.tolist() == [0, 0, 0, 0]
+
+
+class TestMergeSortedRuns:
+    @staticmethod
+    def _as_run(users, ts, chunk=3):
+        """One sorted run split into chunks, as the merge consumes it."""
+        order = np.lexsort((ts, users))
+        users = np.asarray(users, dtype=np.int64)[order]
+        ts = np.asarray(ts, dtype=np.float64)[order]
+        return iter(
+            [
+                (users[i : i + chunk], ts[i : i + chunk])
+                for i in range(0, users.size, chunk)
+            ]
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_merge_equals_global_lexsort(self, data):
+        n_runs = data.draw(st.integers(1, 4))
+        chunk = data.draw(st.integers(1, 5))
+        all_users, all_ts = [], []
+        runs = []
+        for _ in range(n_runs):
+            rows = data.draw(st.integers(1, 12))
+            users = data.draw(
+                st.lists(st.integers(0, 6), min_size=rows, max_size=rows)
+            )
+            ts = data.draw(
+                st.lists(
+                    st.floats(0, 50, allow_nan=False, width=32),
+                    min_size=rows,
+                    max_size=rows,
+                )
+            )
+            all_users.extend(users)
+            all_ts.extend(ts)
+            runs.append(self._as_run(np.array(users), np.array(ts), chunk=chunk))
+        merged_users, merged_ts = [], []
+        for users_chunk, ts_chunk in _merge_sorted_runs(runs):
+            merged_users.extend(users_chunk.tolist())
+            merged_ts.extend(ts_chunk.tolist())
+        users_cat = np.asarray(all_users, dtype=np.int64)
+        ts_cat = np.asarray(all_ts, dtype=np.float64)
+        order = np.lexsort((ts_cat, users_cat))
+        assert merged_users == users_cat[order].tolist()
+        assert merged_ts == ts_cat[order].tolist()
+
+    def test_duplicate_keys_across_runs(self):
+        # Identical (user, ts) keys in different runs: any tie order is
+        # value-identical, so the merged key sequence must still be sorted.
+        run_a = self._as_run(np.array([1, 1, 2]), np.array([5.0, 5.0, 1.0]))
+        run_b = self._as_run(np.array([1, 2]), np.array([5.0, 1.0]))
+        merged = list(_merge_sorted_runs([run_a, run_b]))
+        users = np.concatenate([u for u, _ in merged])
+        ts = np.concatenate([t for _, t in merged])
+        assert users.tolist() == [1, 1, 1, 2, 2]
+        assert ts.tolist() == [5.0, 5.0, 5.0, 1.0, 1.0]
+
+    def test_single_run_passes_through(self):
+        run = self._as_run(np.array([4, 0, 2]), np.array([1.0, 2.0, 3.0]), chunk=2)
+        users = np.concatenate([u for u, _ in _merge_sorted_runs([run])])
+        assert users.tolist() == [0, 2, 4]

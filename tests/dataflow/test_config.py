@@ -27,6 +27,8 @@ PRECEDENCE_CASES: dict[str, tuple[str, object, object, object]] = {
     "dtw_kernel": ("numpy", "numpy", "c", "numba"),
     "dtw_workers": ("2", 2, 3, 4),
     "run_clustering": ("no", False, True, False),
+    "memory_budget": ("1048576", 1048576, 2097152, 4194304),
+    "spill_dir": (" /tmp/spill-Env ", "/tmp/spill-Env", "/tmp/spill-kw", "/tmp/spill-cli"),
 }
 
 

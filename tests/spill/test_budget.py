@@ -1,0 +1,90 @@
+"""MemoryBudget: the byte accountant under the spill pool.
+
+Pure accounting — no I/O, no eviction — so every property is pinned in
+isolation: charge/release arithmetic, the peak high-water mark, the
+``over()`` contract, and limit validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.spill import MemoryBudget
+
+
+class TestUnlimited:
+    def test_default_is_unlimited(self):
+        budget = MemoryBudget()
+        assert budget.unlimited
+        assert budget.limit_bytes is None
+
+    def test_over_is_always_zero(self):
+        budget = MemoryBudget()
+        budget.charge(10**12)
+        assert budget.over() == 0
+
+    def test_charges_still_accounted(self):
+        budget = MemoryBudget()
+        budget.charge(100)
+        budget.charge(50)
+        assert budget.total == 150
+        assert budget.peak == 150
+
+
+class TestCharging:
+    def test_charge_accumulates_and_returns_total(self):
+        budget = MemoryBudget(1000)
+        assert budget.charge(400) == 400
+        assert budget.charge(300) == 700
+        assert budget.total == 700
+
+    def test_negative_charge_releases(self):
+        budget = MemoryBudget(1000)
+        budget.charge(800)
+        budget.charge(-500)
+        assert budget.total == 300
+
+    def test_total_clamps_at_zero(self):
+        budget = MemoryBudget(1000)
+        budget.charge(100)
+        budget.charge(-900)
+        assert budget.total == 0
+
+    def test_peak_is_a_high_water_mark(self):
+        budget = MemoryBudget(1000)
+        budget.charge(600)
+        budget.charge(-400)
+        budget.charge(100)
+        assert budget.total == 300
+        assert budget.peak == 600
+
+
+class TestOver:
+    def test_within_budget_reports_zero(self):
+        budget = MemoryBudget(1000)
+        budget.charge(1000)
+        assert budget.over() == 0
+
+    def test_overage_is_the_exact_excess(self):
+        budget = MemoryBudget(1000)
+        budget.charge(1234)
+        assert budget.over() == 234
+
+    def test_release_brings_overage_back_down(self):
+        budget = MemoryBudget(1000)
+        budget.charge(1500)
+        budget.charge(-600)
+        assert budget.over() == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("limit", [0, -1, -10**9])
+    def test_limit_below_one_rejected(self, limit):
+        with pytest.raises(ConfigError, match="memory budget"):
+            MemoryBudget(limit)
+
+    def test_one_byte_budget_is_legal(self):
+        budget = MemoryBudget(1)
+        budget.charge(2)
+        assert budget.over() == 1

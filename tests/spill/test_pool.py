@@ -1,0 +1,244 @@
+"""SpillPool: accounting, eviction policy, segment lifecycle, cleanup.
+
+The pool's contracts pinned here:
+
+* charging past the budget evicts the registrant with the *largest*
+  currently evictable footprint, repeatedly, until within budget or no
+  handle can free anything (residual overage allowed);
+* restored segments are deleted as soon as they are consumed;
+* :meth:`SpillPool.close` removes every leftover segment — and the
+  tempdir the pool created — even after a mid-run exception.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.spill import MemoryBudget, SpillPool
+
+
+def np_block(n: int = 4, seed: int = 0) -> dict:
+    return {"user": np.arange(seed, seed + n, dtype=np.int64)}
+
+
+class _Participant:
+    """A spillable registrant holding a fake resident byte count."""
+
+    def __init__(self, pool: SpillPool, label: str, resident: int):
+        self.resident = resident
+        self.spill_calls = 0
+        self.handle = pool.register(
+            label, evictable_bytes=lambda: self.resident, spill=self._spill
+        )
+        self.handle.set_level(resident)
+
+    def _spill(self) -> int:
+        freed = self.resident
+        self.spill_calls += 1
+        self.resident = 0
+        self.handle.set_level(0)
+        return freed
+
+
+class TestAccounting:
+    def test_set_level_charges_the_delta(self):
+        with SpillPool(MemoryBudget(1000)) as pool:
+            handle = pool.register("a")
+            handle.set_level(400)
+            handle.set_level(600)
+            assert pool.budget.total == 600
+            handle.set_level(100)
+            assert pool.budget.total == 100
+
+    def test_release_zeroes_the_charge(self):
+        with SpillPool(MemoryBudget(1000)) as pool:
+            handle = pool.register("a")
+            handle.set_level(700)
+            handle.release()
+            assert pool.budget.total == 0
+            assert handle.level == 0
+
+    def test_two_handles_share_one_budget(self):
+        with SpillPool(MemoryBudget(1000)) as pool:
+            first = pool.register("a")
+            second = pool.register("b")
+            first.set_level(300)
+            second.set_level(400)
+            assert pool.budget.total == 700
+
+
+class TestEviction:
+    def test_largest_evictable_participant_goes_first(self):
+        with SpillPool(MemoryBudget(1000)) as pool:
+            small = _Participant(pool, "small", 300)
+            big = _Participant(pool, "big", 600)
+            # 900 resident: within budget, nobody spilled.
+            assert big.spill_calls == 0 and small.spill_calls == 0
+            extra = pool.register("extra")
+            extra.set_level(200)  # 1100 > 1000
+            assert big.spill_calls == 1
+            assert small.spill_calls == 0  # evicting big already sufficed
+
+    def test_eviction_repeats_until_within_budget(self):
+        with SpillPool(MemoryBudget(100)) as pool:
+            first = _Participant(pool, "a", 300)
+            second = _Participant(pool, "b", 200)
+            third = pool.register("push")
+            third.set_level(50)
+            assert first.spill_calls == 1
+            assert second.spill_calls == 1
+
+    def test_residual_overage_is_allowed(self):
+        with SpillPool(MemoryBudget(10)) as pool:
+            handle = pool.register("irreducible")  # accounting-only
+            handle.set_level(5000)
+            # Nothing evictable: the pool stops rather than spinning.
+            assert pool.budget.total == 5000
+            assert pool.budget.over() == 4990
+
+    def test_accounting_only_handle_is_never_evicted(self):
+        with SpillPool(MemoryBudget(100)) as pool:
+            participant = _Participant(pool, "evictable", 80)
+            fixed = pool.register("fixed")
+            fixed.set_level(90)
+            assert participant.spill_calls == 1
+            assert pool.budget.total == 90
+
+    def test_no_eviction_while_within_budget(self):
+        with SpillPool(MemoryBudget(10_000)) as pool:
+            participant = _Participant(pool, "quiet", 500)
+            participant.handle.set_level(600)
+            assert participant.spill_calls == 0
+
+    def test_spilling_handle_not_reentered(self):
+        with SpillPool(MemoryBudget(100)) as pool:
+            calls = []
+
+            def spill():
+                calls.append(1)
+                # Re-charging mid-spill must not recurse into this handle.
+                handle.set_level(500)
+                handle.set_level(0)
+                return 500
+
+            handle = pool.register("reentrant", evictable_bytes=lambda: 500, spill=spill)
+            handle.set_level(500)
+            assert calls == [1]
+
+    def test_unlimited_pool_never_evicts(self):
+        with SpillPool() as pool:
+            participant = _Participant(pool, "free", 10**9)
+            assert participant.spill_calls == 0
+
+
+class TestSegmentLifecycle:
+    def test_write_then_read_round_trips_and_deletes(self):
+        with SpillPool(MemoryBudget(1)) as pool:
+            handle = pool.register("runs")
+            segment = handle.write_run([np_block(4, 0), np_block(4, 10)])
+            assert os.path.exists(segment.path)
+            assert pool.live_segments == (segment,)
+            blocks = handle.read_run(segment)
+            assert [b["user"].tolist() for b in blocks] == [[0, 1, 2, 3], [10, 11, 12, 13]]
+            assert not os.path.exists(segment.path)
+            assert pool.live_segments == ()
+
+    def test_iter_run_deletes_even_when_abandoned(self):
+        with SpillPool(MemoryBudget(1)) as pool:
+            handle = pool.register("runs")
+            segment = handle.write_run([np_block(), np_block()])
+            iterator = handle.iter_run(segment)
+            next(iterator)
+            iterator.close()  # abandoned mid-stream
+            assert not os.path.exists(segment.path)
+
+    def test_stats_count_spill_and_restore(self):
+        with SpillPool(MemoryBudget(1)) as pool:
+            handle = pool.register("runs")
+            segment = handle.write_run([np_block()])
+            handle.read_run(segment)
+            stats = pool.stats()
+            assert stats.spill_files == 1
+            assert stats.bytes_spilled == segment.payload_bytes
+            assert stats.bytes_restored == segment.payload_bytes
+            assert stats.spill_seconds >= 0.0
+
+    def test_write_run_failure_leaves_no_file(self, tmp_path):
+        pool = SpillPool(MemoryBudget(1), spill_dir=str(tmp_path))
+        handle = pool.register("runs")
+
+        def blocks():
+            yield np_block()
+            raise RuntimeError("source died")
+
+        with pytest.raises(RuntimeError, match="source died"):
+            handle.write_run(blocks())
+        assert list(tmp_path.iterdir()) == []
+        assert pool.live_segments == ()
+        pool.close()
+
+    def test_segment_names_are_sequenced_and_sanitised(self, tmp_path):
+        pool = SpillPool(MemoryBudget(1), spill_dir=str(tmp_path))
+        handle = pool.register("weird label/with:stuff")
+        first = handle.write_run([np_block()])
+        second = handle.write_run([np_block()])
+        assert os.path.basename(first.path) == "000001-weird-label-with-stuff.spill"
+        assert os.path.basename(second.path) == "000002-weird-label-with-stuff.spill"
+        pool.close()
+
+
+class TestClose:
+    def test_close_removes_all_segments_after_midrun_exception(self, tmp_path):
+        pool = SpillPool(MemoryBudget(1), spill_dir=str(tmp_path))
+        handle = pool.register("runs")
+        with pytest.raises(RuntimeError, match="stage blew up"):
+            try:
+                handle.write_run([np_block()])
+                handle.write_run([np_block()])
+                raise RuntimeError("stage blew up")
+            finally:
+                pool.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_close_removes_owned_tempdir(self):
+        pool = SpillPool(MemoryBudget(1))
+        handle = pool.register("runs")
+        segment = handle.write_run([np_block()])
+        owned = pool._own_dir
+        assert owned is not None and os.path.isdir(owned)
+        pool.close()
+        assert not os.path.exists(owned)
+        assert not os.path.exists(segment.path)
+
+    def test_close_keeps_an_explicit_spill_dir(self, tmp_path):
+        target = tmp_path / "spill-here"
+        pool = SpillPool(MemoryBudget(1), spill_dir=str(target))
+        handle = pool.register("runs")
+        handle.write_run([np_block()])
+        pool.close()
+        # The caller's directory survives; only the segments are removed.
+        assert target.is_dir()
+        assert list(target.iterdir()) == []
+
+    def test_close_is_idempotent(self, tmp_path):
+        pool = SpillPool(MemoryBudget(1), spill_dir=str(tmp_path))
+        pool.register("runs").write_run([np_block()])
+        pool.close()
+        pool.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_context_manager_closes_on_error(self, tmp_path):
+        with pytest.raises(ValueError, match="boom"):
+            with SpillPool(MemoryBudget(1), spill_dir=str(tmp_path)) as pool:
+                pool.register("runs").write_run([np_block()])
+                raise ValueError("boom")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_lazy_tempdir_only_created_when_spilling(self):
+        pool = SpillPool(MemoryBudget(10**12))
+        pool.register("quiet").set_level(10)
+        assert pool._own_dir is None
+        pool.close()

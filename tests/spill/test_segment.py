@@ -1,0 +1,287 @@
+"""Spill segment format: round-trips, atomicity, kill-point fuzz.
+
+Mirrors the trace reader's crash-safety suite
+(``tests/trace/test_batch.py``): a spill segment cut at *every* possible
+byte offset must either parse as the complete block prefix it is (cuts on
+a block boundary) or raise :class:`~repro.errors.SpillError` naming the
+file and a byte offset — and a segment with *any* byte flipped must never
+decode silently.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import SpillError
+from repro.spill.segment import (
+    SPILL_MAGIC,
+    SPILL_VERSION,
+    SpillFileWriter,
+    decode_block,
+    encode_block,
+    iter_blocks,
+    read_blocks,
+    write_segment,
+)
+from repro.trace.batch import StringColumn
+
+_HEADER = struct.Struct("<4sH")
+_BLOCK_FRAME = struct.Struct("<QI")
+
+
+def sample_block(offset: int = 0) -> dict:
+    """One block mixing numeric dtypes and a dictionary-encoded column."""
+    return {
+        "ts": np.arange(offset, offset + 5, dtype=np.float64) * 0.5,
+        "user": np.arange(offset, offset + 5, dtype=np.int64),
+        "flags": np.array([1, 0, 1, 1, 0], dtype=np.uint8),
+        "site": StringColumn(
+            np.array([0, 1, 0, 2, 1], dtype=np.int32), ["V-1", "P-1", f"S-{offset}"]
+        ),
+    }
+
+
+def assert_block_equal(actual: dict, expected: dict) -> None:
+    assert list(actual) == list(expected)
+    for name, column in expected.items():
+        restored = actual[name]
+        if isinstance(column, StringColumn):
+            assert isinstance(restored, StringColumn)
+            assert restored.codes.dtype == np.int32
+            assert restored.codes.tolist() == column.codes.tolist()
+            assert list(restored.values) == list(column.values)
+        else:
+            assert restored.dtype == column.dtype
+            assert restored.tolist() == column.tolist()
+
+
+def build_segment(path, blocks):
+    """Write ``blocks`` and return (raw bytes, block boundary offsets)."""
+    write_segment(str(path), blocks)
+    blob = path.read_bytes()
+    boundaries = [_HEADER.size]
+    for block in blocks:
+        payload = encode_block(block)
+        boundaries.append(boundaries[-1] + _BLOCK_FRAME.size + len(payload))
+    assert boundaries[-1] == len(blob)
+    return blob, boundaries
+
+
+class TestRoundTrip:
+    def test_single_block(self, tmp_path):
+        path = tmp_path / "run.spill"
+        block = sample_block()
+        write_segment(str(path), [block])
+        [restored] = read_blocks(str(path))
+        assert_block_equal(restored, block)
+
+    def test_multi_block_order_preserved(self, tmp_path):
+        path = tmp_path / "run.spill"
+        blocks = [sample_block(0), sample_block(7), sample_block(21)]
+        write_segment(str(path), blocks)
+        restored = read_blocks(str(path))
+        assert len(restored) == 3
+        for actual, expected in zip(restored, blocks):
+            assert_block_equal(actual, expected)
+
+    def test_empty_block(self, tmp_path):
+        path = tmp_path / "run.spill"
+        write_segment(str(path), [{}])
+        assert read_blocks(str(path)) == [{}]
+
+    def test_zero_block_segment(self, tmp_path):
+        path = tmp_path / "run.spill"
+        write_segment(str(path), [])
+        assert read_blocks(str(path)) == []
+
+    def test_empty_arrays_round_trip(self, tmp_path):
+        path = tmp_path / "run.spill"
+        block = {
+            "ts": np.array([], dtype=np.float64),
+            "site": StringColumn(np.array([], dtype=np.int32), []),
+        }
+        write_segment(str(path), [block])
+        [restored] = read_blocks(str(path))
+        assert_block_equal(restored, block)
+
+    def test_non_contiguous_input_round_trips(self, tmp_path):
+        path = tmp_path / "run.spill"
+        strided = np.arange(20, dtype=np.int64)[::2]
+        write_segment(str(path), [{"user": strided}])
+        [restored] = read_blocks(str(path))
+        assert restored["user"].tolist() == strided.tolist()
+
+
+class TestAtomicity:
+    def test_final_name_appears_only_on_close(self, tmp_path):
+        path = tmp_path / "run.spill"
+        writer = SpillFileWriter(str(path))
+        writer.write_block(sample_block())
+        assert not path.exists()
+        assert os.path.exists(str(path) + ".tmp")
+        writer.close()
+        assert path.exists()
+        assert not os.path.exists(str(path) + ".tmp")
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.spill"
+        writer = SpillFileWriter(str(path))
+        writer.close()
+        writer.close()
+        assert path.exists()
+
+    def test_abort_leaves_nothing(self, tmp_path):
+        path = tmp_path / "run.spill"
+        writer = SpillFileWriter(str(path))
+        writer.write_block(sample_block())
+        writer.abort()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_write_segment_aborts_on_block_error(self, tmp_path):
+        path = tmp_path / "run.spill"
+
+        def blocks():
+            yield sample_block()
+            raise RuntimeError("producer died")
+
+        with pytest.raises(RuntimeError, match="producer died"):
+            write_segment(str(path), blocks())
+        assert list(tmp_path.iterdir()) == []
+
+    def test_writer_counts_payload(self, tmp_path):
+        path = tmp_path / "run.spill"
+        writer = SpillFileWriter(str(path))
+        first = writer.write_block(sample_block(0))
+        second = writer.write_block(sample_block(5))
+        writer.close()
+        assert writer.blocks == 2
+        assert writer.payload_bytes == first + second
+
+
+class TestKillPoints:
+    """Truncate and corrupt the segment at every byte offset."""
+
+    def test_every_truncation_offset(self, tmp_path):
+        source = tmp_path / "full.spill"
+        blob, boundaries = build_segment(source, [sample_block(0), sample_block(9)])
+        path = tmp_path / "cut.spill"
+        for cut in range(len(blob)):
+            path.write_bytes(blob[:cut])
+            if cut in boundaries:
+                # Clean cut on a block boundary: the complete prefix parses.
+                n_blocks = boundaries.index(cut)
+                assert len(read_blocks(str(path))) == n_blocks
+                continue
+            with pytest.raises(SpillError) as error:
+                read_blocks(str(path))
+            message = str(error.value)
+            assert "cut.spill" in message
+            assert "byte" in message
+
+    def test_every_single_byte_flip_detected(self, tmp_path):
+        source = tmp_path / "full.spill"
+        blob, _ = build_segment(source, [sample_block(0), sample_block(9)])
+        path = tmp_path / "flip.spill"
+        for index in range(len(blob)):
+            mangled = bytearray(blob)
+            mangled[index] ^= 0xFF
+            path.write_bytes(bytes(mangled))
+            with pytest.raises(SpillError) as error:
+                read_blocks(str(path))
+            assert "flip.spill" in str(error.value)
+
+    def test_first_block_flushes_before_second_truncates(self, tmp_path):
+        source = tmp_path / "full.spill"
+        blocks = [sample_block(0), sample_block(9)]
+        blob, boundaries = build_segment(source, blocks)
+        path = tmp_path / "cut.spill"
+        path.write_bytes(blob[: boundaries[1] + 5])  # mid-second-block
+        seen = []
+        with pytest.raises(SpillError):
+            for block in iter_blocks(str(path)):
+                seen.append(block)
+        assert len(seen) == 1
+        assert_block_equal(seen[0], blocks[0])
+
+
+class TestFraming:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.spill"
+        path.write_bytes(b"NOPE" + struct.pack("<H", SPILL_VERSION))
+        with pytest.raises(SpillError, match="bad magic at byte 0"):
+            read_blocks(str(path))
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "bad.spill"
+        path.write_bytes(_HEADER.pack(SPILL_MAGIC, SPILL_VERSION + 1))
+        with pytest.raises(SpillError, match="unsupported version"):
+            read_blocks(str(path))
+
+    def test_empty_file_is_a_truncated_header(self, tmp_path):
+        path = tmp_path / "bad.spill"
+        path.write_bytes(b"")
+        with pytest.raises(SpillError, match="truncated header at byte 0"):
+            read_blocks(str(path))
+
+    def test_implausible_block_length(self, tmp_path):
+        path = tmp_path / "bad.spill"
+        payload = encode_block(sample_block())
+        path.write_bytes(
+            _HEADER.pack(SPILL_MAGIC, SPILL_VERSION)
+            + _BLOCK_FRAME.pack(1 << 50, zlib.crc32(payload))
+            + payload
+        )
+        with pytest.raises(SpillError, match="implausible block length"):
+            read_blocks(str(path))
+
+    def test_crc_mismatch_names_block_offset(self, tmp_path):
+        path = tmp_path / "bad.spill"
+        payload = encode_block(sample_block())
+        path.write_bytes(
+            _HEADER.pack(SPILL_MAGIC, SPILL_VERSION)
+            + _BLOCK_FRAME.pack(len(payload), zlib.crc32(payload) ^ 1)
+            + payload
+        )
+        with pytest.raises(SpillError, match=f"CRC mismatch for the block at byte {_HEADER.size}"):
+            read_blocks(str(path))
+
+
+class TestDecode:
+    """Payload-level validation once framing (CRC) has passed."""
+
+    def test_unknown_column_kind(self):
+        payload = struct.pack("<I", 1) + struct.pack("<H", 1) + b"x" + struct.pack("<B", 9)
+        with pytest.raises(SpillError, match="unknown column kind 9"):
+            decode_block("seg.spill", 6, payload)
+
+    def test_trailing_bytes_rejected(self):
+        payload = encode_block({"ts": np.array([1.0])}) + b"junk"
+        with pytest.raises(SpillError, match="trailing bytes after the last column"):
+            decode_block("seg.spill", 6, payload)
+
+    def test_unknown_dtype_rejected(self):
+        payload = (
+            struct.pack("<I", 1)
+            + struct.pack("<H", 2)
+            + b"ts"
+            + struct.pack("<B", 0)
+            + struct.pack("<H", 4)
+            + b"<x99"
+            + struct.pack("<Q", 0)
+        )
+        with pytest.raises(SpillError, match="unknown dtype"):
+            decode_block("seg.spill", 6, payload)
+
+    def test_offsets_are_absolute(self):
+        # A short payload whose declared row count overruns it: the error
+        # offset must include the block's base file offset.
+        payload = encode_block({"ts": np.array([1.0, 2.0])})[:-8]
+        with pytest.raises(SpillError) as error:
+            decode_block("seg.spill", 1000, payload)
+        assert "at byte 1" in str(error.value)  # 1000-something, not a small pos
+        assert "seg.spill" in str(error.value)
